@@ -1,0 +1,194 @@
+// Package avl implements the self-balancing AVL tree backing the "2-in-1"
+// structure of Section 6.3 of the paper. Keys are (entropy, id) pairs:
+// eRepair repeatedly needs the equivalence-class group with minimum entropy,
+// and groups are removed or re-keyed as conflicts are resolved.
+package avl
+
+// Key orders tree entries by entropy, breaking ties by id so that distinct
+// groups with equal entropy coexist.
+type Key struct {
+	Entropy float64
+	ID      string
+}
+
+func (k Key) less(o Key) bool {
+	if k.Entropy != o.Entropy {
+		return k.Entropy < o.Entropy
+	}
+	return k.ID < o.ID
+}
+
+type node struct {
+	key         Key
+	left, right *node
+	height      int
+}
+
+// Tree is an AVL tree of Keys. The zero value is an empty tree ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds k to the tree. Inserting a key already present is a no-op.
+func (t *Tree) Insert(k Key) {
+	var added bool
+	t.root, added = insert(t.root, k)
+	if added {
+		t.size++
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k Key) bool {
+	var removed bool
+	t.root, removed = remove(t.root, k)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+// Contains reports whether k is in the tree.
+func (t *Tree) Contains(k Key) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case k.less(n.key):
+			n = n.left
+		case n.key.less(k):
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Min returns the smallest key, or ok=false when the tree is empty.
+func (t *Tree) Min() (k Key, ok bool) {
+	n := t.root
+	if n == nil {
+		return Key{}, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// InOrder visits keys in ascending order until fn returns false.
+func (t *Tree) InOrder(fn func(Key) bool) {
+	inorder(t.root, fn)
+}
+
+func inorder(n *node, fn func(Key) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !inorder(n.left, fn) {
+		return false
+	}
+	if !fn(n.key) {
+		return false
+	}
+	return inorder(n.right, fn)
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func update(n *node) *node {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+	return n
+}
+
+func balanceFactor(n *node) int { return height(n.left) - height(n.right) }
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = update(n)
+	return update(l)
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = update(n)
+	return update(r)
+}
+
+func rebalance(n *node) *node {
+	update(n)
+	switch bf := balanceFactor(n); {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func insert(n *node, k Key) (*node, bool) {
+	if n == nil {
+		return &node{key: k, height: 1}, true
+	}
+	var added bool
+	switch {
+	case k.less(n.key):
+		n.left, added = insert(n.left, k)
+	case n.key.less(k):
+		n.right, added = insert(n.right, k)
+	default:
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+func remove(n *node, k Key) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case k.less(n.key):
+		n.left, removed = remove(n.left, k)
+	case n.key.less(k):
+		n.right, removed = remove(n.right, k)
+	default:
+		removed = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key = succ.key
+			n.right, _ = remove(n.right, succ.key)
+		}
+	}
+	return rebalance(n), removed
+}

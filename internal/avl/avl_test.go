@@ -1,0 +1,188 @@
+package avl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Error("empty Len != 0")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("empty Min ok")
+	}
+	if tr.Delete(Key{1, "x"}) {
+		t.Error("Delete on empty returned true")
+	}
+	if tr.Contains(Key{1, "x"}) {
+		t.Error("Contains on empty")
+	}
+}
+
+func TestInsertDeleteMin(t *testing.T) {
+	var tr Tree
+	tr.Insert(Key{0.8, "a"})
+	tr.Insert(Key{0.2, "b"})
+	tr.Insert(Key{0.5, "c"})
+	tr.Insert(Key{0.2, "a"}) // same entropy, different id
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if k, _ := tr.Min(); k != (Key{0.2, "a"}) {
+		t.Errorf("Min = %v", k)
+	}
+	if !tr.Delete(Key{0.2, "a"}) {
+		t.Error("Delete failed")
+	}
+	if k, _ := tr.Min(); k != (Key{0.2, "b"}) {
+		t.Errorf("Min after delete = %v", k)
+	}
+	if tr.Delete(Key{0.2, "a"}) {
+		t.Error("double Delete returned true")
+	}
+	tr.Insert(Key{0.5, "c"}) // duplicate insert is a no-op
+	if tr.Len() != 3 {
+		t.Errorf("Len after dup insert = %d", tr.Len())
+	}
+}
+
+func TestInOrderSortedAndStoppable(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		tr.Insert(Key{rng.Float64(), fmt.Sprintf("k%d", i)})
+	}
+	var got []Key
+	tr.InOrder(func(k Key) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 200 {
+		t.Fatalf("visited %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].less(got[j]) }) {
+		t.Error("InOrder not sorted")
+	}
+	count := 0
+	tr.InOrder(func(Key) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	var tr Tree
+	// Sorted insertion order: a naive BST would degenerate to height n.
+	for i := 0; i < 1024; i++ {
+		tr.Insert(Key{float64(i), ""})
+	}
+	h := height(tr.root)
+	if h > 15 { // 1.44*log2(1024) ~ 14.4
+		t.Errorf("height = %d for 1024 sorted inserts", h)
+	}
+	if !checkAVL(tr.root) {
+		t.Error("AVL invariant violated")
+	}
+}
+
+func TestRandomOpsAgainstMap(t *testing.T) {
+	var tr Tree
+	ref := make(map[Key]bool)
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]Key, 300)
+	for i := range keys {
+		keys[i] = Key{float64(rng.Intn(50)) / 10, fmt.Sprintf("id%d", rng.Intn(40))}
+	}
+	for step := 0; step < 5000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			ref[k] = true
+		} else {
+			got := tr.Delete(k)
+			want := ref[k]
+			if got != want {
+				t.Fatalf("step %d: Delete(%v) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, tr.Len(), len(ref))
+		}
+		if !checkAVL(tr.root) {
+			t.Fatalf("step %d: AVL invariant violated", step)
+		}
+	}
+	for k := range ref {
+		if !tr.Contains(k) {
+			t.Errorf("missing key %v", k)
+		}
+	}
+	// Min must match the reference minimum.
+	if len(ref) > 0 {
+		var want Key
+		first := true
+		for k := range ref {
+			if first || k.less(want) {
+				want, first = k, false
+			}
+		}
+		if got, _ := tr.Min(); got != want {
+			t.Errorf("Min = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertContainsProperty(t *testing.T) {
+	f := func(es []float64, ids []string) bool {
+		var tr Tree
+		n := len(es)
+		if len(ids) < n {
+			n = len(ids)
+		}
+		for i := 0; i < n; i++ {
+			tr.Insert(Key{es[i], ids[i]})
+		}
+		for i := 0; i < n; i++ {
+			if !tr.Contains(Key{es[i], ids[i]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkAVL(n *node) bool {
+	if n == nil {
+		return true
+	}
+	bf := balanceFactor(n)
+	if bf < -1 || bf > 1 {
+		return false
+	}
+	h := height(n.left)
+	if hr := height(n.right); hr > h {
+		h = hr
+	}
+	if n.height != h+1 {
+		return false
+	}
+	if n.left != nil && !n.left.key.less(n.key) {
+		return false
+	}
+	if n.right != nil && !n.key.less(n.right.key) {
+		return false
+	}
+	return checkAVL(n.left) && checkAVL(n.right)
+}

@@ -1,0 +1,81 @@
+package cfd
+
+import "repro/internal/relation"
+
+// Violation identifies a CFD violation. For a constant CFD, T2 is -1 and T1
+// is the index of the single violating tuple. For a variable CFD, tuples T1
+// and T2 agree on the (pattern-matched) LHS but differ on the RHS.
+type Violation struct {
+	CFD    *CFD
+	T1, T2 int
+}
+
+// Satisfies reports whether D |= c.
+func Satisfies(d *relation.Relation, c *CFD) bool {
+	if c.IsConstant() {
+		for _, t := range d.Tuples {
+			if c.MatchLHS(t) && t.Values[c.RHS] != c.RHSPattern {
+				return false
+			}
+		}
+		return true
+	}
+	groups := make(map[string]string)
+	for _, t := range d.Tuples {
+		if !c.MatchLHS(t) {
+			continue
+		}
+		v := t.Values[c.RHS]
+		key := t.Key(c.LHS)
+		if prev, ok := groups[key]; ok {
+			if prev != v {
+				return false
+			}
+		} else {
+			groups[key] = v
+		}
+	}
+	return true
+}
+
+// SatisfiesAll reports whether D |= Σ.
+func SatisfiesAll(d *relation.Relation, sigma []*CFD) bool {
+	for _, c := range sigma {
+		if !Satisfies(d, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns all violations of c in D. For variable CFDs, each
+// LHS-equal group with k distinct RHS values yields pairwise violations
+// between the first tuple of each differing value and the group's first
+// tuple, which suffices for violation detection and repair scheduling.
+func Violations(d *relation.Relation, c *CFD) []Violation {
+	var out []Violation
+	if c.IsConstant() {
+		for i, t := range d.Tuples {
+			if c.MatchLHS(t) && t.Values[c.RHS] != c.RHSPattern {
+				out = append(out, Violation{CFD: c, T1: i, T2: -1})
+			}
+		}
+		return out
+	}
+	first := make(map[string]int) // LHS key -> first tuple index
+	for i, t := range d.Tuples {
+		if !c.MatchLHS(t) {
+			continue
+		}
+		key := t.Key(c.LHS)
+		j, ok := first[key]
+		if !ok {
+			first[key] = i
+			continue
+		}
+		if d.Tuples[j].Values[c.RHS] != t.Values[c.RHS] {
+			out = append(out, Violation{CFD: c, T1: j, T2: i})
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package md
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+// Negative is a negative matching dependency
+//
+//	⋀_j (R[Aj] ≠ Rm[Bj])  ->  ⋁_i (R[Ei] ⇎ Rm[Fi])
+//
+// stating that tuples differing on all the Aj/Bj attributes may not be
+// identified (Section 2.2). Negative MDs are never enforced directly:
+// Embed converts them into equivalent positive MDs per Proposition 2.6.
+type Negative struct {
+	Name   string
+	Data   *relation.Schema
+	Master *relation.Schema
+	LHS    []Pair
+	RHS    []Pair
+}
+
+// NewNegative builds a negative MD from attribute names.
+func NewNegative(name string, data, master *relation.Schema, lhs, rhs []PairSpec) *Negative {
+	n := &Negative{Name: name, Data: data, Master: master}
+	for _, p := range lhs {
+		n.LHS = append(n.LHS, Pair{DataAttr: data.MustIndex(p.Data), MasterAttr: master.MustIndex(p.Master)})
+	}
+	for _, p := range rhs {
+		n.RHS = append(n.RHS, Pair{DataAttr: data.MustIndex(p.Data), MasterAttr: master.MustIndex(p.Master)})
+	}
+	return n
+}
+
+// SatisfiesNegative reports whether (D, Dm) |= n: for all (t, s), if
+// t[Aj] != s[Bj] for all j, then t[Ei] != s[Fi] for some i.
+func SatisfiesNegative(d, dm *relation.Relation, n *Negative) bool {
+	for _, t := range d.Tuples {
+		for _, s := range dm.Tuples {
+			premise := true
+			for _, p := range n.LHS {
+				if t.Values[p.DataAttr] == s.Values[p.MasterAttr] {
+					premise = false
+					break
+				}
+			}
+			if !premise {
+				continue
+			}
+			identified := true
+			for _, p := range n.RHS {
+				if t.Values[p.DataAttr] != s.Values[p.MasterAttr] {
+					identified = false
+					break
+				}
+			}
+			if identified {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Embed converts a nonempty set of positive MDs plus a set of negative MDs
+// into an equivalent set of positive MDs, in O(|Γ+|·|Γ-|) time, following
+// the algorithm in the proof of Proposition 2.6: for each positive MD, the
+// premises of all negative MDs are conjoined as equality clauses, so that
+// tuples differing on a negative premise can no longer be identified by the
+// rule (cf. Example 2.5, where the gender attribute is incorporated into ψ).
+func Embed(positive []*MD, negative []*Negative) []*MD {
+	if len(negative) == 0 {
+		return positive
+	}
+	out := make([]*MD, len(positive))
+	for i, m := range positive {
+		clone := &MD{
+			Name:   m.Name + "'",
+			Data:   m.Data,
+			Master: m.Master,
+			LHS:    append([]Clause(nil), m.LHS...),
+			RHS:    m.RHS,
+		}
+		for _, n := range negative {
+			for _, p := range n.LHS {
+				if hasEqualityClause(clone, p) {
+					continue
+				}
+				clone.LHS = append(clone.LHS, Clause{
+					DataAttr:   p.DataAttr,
+					MasterAttr: p.MasterAttr,
+					Pred:       similarity.Equal(),
+				})
+			}
+		}
+		out[i] = clone
+	}
+	return out
+}
+
+func hasEqualityClause(m *MD, p Pair) bool {
+	for _, c := range m.LHS {
+		if c.DataAttr == p.DataAttr && c.MasterAttr == p.MasterAttr && c.Pred.Exact {
+			return true
+		}
+	}
+	return false
+}
+
+// Equivalent reports whether two MD sets agree on a given pair of instances:
+// (D,Dm) |= Γ1 iff (D,Dm) |= Γ2. It is a testing aid for Proposition 2.6,
+// not a decision procedure for semantic equivalence.
+func Equivalent(d, dm *relation.Relation, g1, g2 []*MD) bool {
+	return SatisfiesAll(d, dm, g1) == SatisfiesAll(d, dm, g2)
+}
+
+func (n *Negative) String() string {
+	s := ""
+	for i, p := range n.LHS {
+		if i > 0 {
+			s += " ^ "
+		}
+		s += fmt.Sprintf("%s[%s] != %s[%s]", n.Data.Name, n.Data.Attrs[p.DataAttr],
+			n.Master.Name, n.Master.Attrs[p.MasterAttr])
+	}
+	s += " -> "
+	for i, p := range n.RHS {
+		if i > 0 {
+			s += " v "
+		}
+		s += fmt.Sprintf("%s[%s] <!> %s[%s]", n.Data.Name, n.Data.Attrs[p.DataAttr],
+			n.Master.Name, n.Master.Attrs[p.MasterAttr])
+	}
+	return s
+}

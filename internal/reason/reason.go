@@ -1,0 +1,185 @@
+// Package reason implements the static analyses of Section 4.1 of the
+// paper: the consistency and implication problems for CFDs and MDs taken
+// together. Both are intractable (NP-complete and coNP-complete), so the
+// checkers here are exact exponential-time procedures based on the
+// small-model properties established in the proofs of Theorems 4.1 and 4.2:
+//
+//   - Σ ∪ Γ is consistent iff some single-tuple instance over the active
+//     domains satisfies it;
+//   - Σ ∪ Γ does not imply a CFD ξ iff some two-tuple instance over the
+//     active domains satisfies Σ ∪ Γ and violates ξ (single-tuple for MDs).
+//
+// They are intended for rule validation at design time, where rule sets and
+// active domains are small.
+package reason
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/relation"
+)
+
+// Problem bundles the input common to all analyses: the data schema, a set
+// of CFDs on it, a set of normalized positive MDs, and the master relation.
+type Problem struct {
+	Schema *relation.Schema
+	Sigma  []*cfd.CFD
+	Gamma  []*md.MD
+	Master *relation.Relation
+}
+
+// activeDomains returns, per data attribute, the candidate values from the
+// small-model construction: constants appearing in Σ (and optionally extra
+// CFDs/MDs) for that attribute, constants of master attributes related to it
+// by an MD clause or conclusion, plus fresh values not occurring anywhere.
+// A k-tuple model needs k fresh values per attribute so that tuples can
+// disagree on attributes no rule constrains.
+func (p Problem) activeDomains(extraCFDs []*cfd.CFD, extraMDs []*md.MD, fresh int) [][]string {
+	n := p.Schema.Arity()
+	sets := make([]map[string]struct{}, n)
+	for i := range sets {
+		sets[i] = make(map[string]struct{})
+	}
+	addCFD := func(c *cfd.CFD) {
+		for i, a := range c.LHS {
+			if v := c.LHSPattern[i]; v != cfd.Wildcard {
+				sets[a][v] = struct{}{}
+			}
+		}
+		if c.RHSPattern != cfd.Wildcard {
+			sets[c.RHS][c.RHSPattern] = struct{}{}
+		}
+	}
+	addMD := func(m *md.MD) {
+		if p.Master == nil {
+			return
+		}
+		for _, cl := range m.LHS {
+			for _, s := range p.Master.Tuples {
+				sets[cl.DataAttr][s.Values[cl.MasterAttr]] = struct{}{}
+			}
+		}
+		for _, pr := range m.RHS {
+			for _, s := range p.Master.Tuples {
+				sets[pr.DataAttr][s.Values[pr.MasterAttr]] = struct{}{}
+			}
+		}
+	}
+	for _, c := range p.Sigma {
+		addCFD(c)
+	}
+	for _, c := range extraCFDs {
+		addCFD(c)
+	}
+	for _, m := range p.Gamma {
+		addMD(m)
+	}
+	for _, m := range extraMDs {
+		addMD(m)
+	}
+	out := make([][]string, n)
+	for i, set := range sets {
+		vals := make([]string, 0, len(set)+fresh)
+		for v := range set {
+			vals = append(vals, v)
+		}
+		f := "\x00fresh"
+		for j := 0; j < fresh; j++ {
+			for {
+				if _, taken := set[f]; !taken {
+					break
+				}
+				f += "'"
+			}
+			vals = append(vals, f)
+			f += "'"
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// satisfied reports whether the instance d satisfies Σ ∪ Γ (with respect to
+// the master relation).
+func (p Problem) satisfied(d *relation.Relation) bool {
+	if !cfd.SatisfiesAll(d, p.Sigma) {
+		return false
+	}
+	if p.Master == nil {
+		return len(p.Gamma) == 0 || true // MDs are vacuous without master data
+	}
+	return md.SatisfiesAll(d, p.Master, p.Gamma)
+}
+
+// forEachInstance enumerates all instances of k tuples over the active
+// domains doms and invokes fn; enumeration stops when fn returns true, and
+// the found instance is returned.
+func forEachInstance(schema *relation.Schema, doms [][]string, k int, fn func(*relation.Relation) bool) (*relation.Relation, bool) {
+	n := schema.Arity()
+	vals := make([][]string, k)
+	for i := range vals {
+		vals[i] = make([]string, n)
+	}
+	var rec func(tuple, attr int) (*relation.Relation, bool)
+	rec = func(tuple, attr int) (*relation.Relation, bool) {
+		if tuple == k {
+			d := relation.New(schema)
+			for _, v := range vals {
+				d.Append(v...)
+			}
+			if fn(d) {
+				return d, true
+			}
+			return nil, false
+		}
+		if attr == n {
+			return rec(tuple+1, 0)
+		}
+		for _, v := range doms[attr] {
+			vals[tuple][attr] = v
+			if d, ok := rec(tuple, attr+1); ok {
+				return d, true
+			}
+		}
+		return nil, false
+	}
+	return rec(0, 0)
+}
+
+// Consistent reports whether Σ ∪ Γ is consistent: whether some nonempty
+// instance satisfies all CFDs and MDs. By the small-model property of
+// Theorem 4.1 it suffices to search single-tuple instances over the active
+// domains. The witness instance is returned when consistent.
+func Consistent(p Problem) (*relation.Relation, bool) {
+	doms := p.activeDomains(nil, nil, 1)
+	return forEachInstance(p.Schema, doms, 1, p.satisfied)
+}
+
+// ImpliesCFD reports whether Σ ∪ Γ implies the CFD ξ. By Theorem 4.2 it
+// suffices to search two-tuple counterexamples over the active domains: an
+// instance satisfying Σ ∪ Γ but violating ξ. The counterexample is returned
+// when implication fails.
+func ImpliesCFD(p Problem, xi *cfd.CFD) (counterexample *relation.Relation, implies bool) {
+	k := 2
+	if xi.IsConstant() {
+		k = 1 // a constant CFD is violated by a single tuple
+	}
+	doms := p.activeDomains([]*cfd.CFD{xi}, nil, k)
+	d, found := forEachInstance(p.Schema, doms, k, func(d *relation.Relation) bool {
+		return p.satisfied(d) && !cfd.Satisfies(d, xi)
+	})
+	return d, !found
+}
+
+// ImpliesMD reports whether Σ ∪ Γ implies the MD ξ. A single-tuple
+// counterexample suffices (proof of Theorem 4.2).
+func ImpliesMD(p Problem, xi *md.MD) (counterexample *relation.Relation, implies bool) {
+	if p.Master == nil {
+		return nil, true // vacuous without master data
+	}
+	doms := p.activeDomains(nil, []*md.MD{xi}, 1)
+	d, found := forEachInstance(p.Schema, doms, 1, func(d *relation.Relation) bool {
+		return p.satisfied(d) && !md.Satisfies(d, p.Master, xi)
+	})
+	return d, !found
+}

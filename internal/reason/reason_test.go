@@ -1,0 +1,176 @@
+package reason
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/relation"
+)
+
+func TestConsistentSimple(t *testing.T) {
+	s := relation.NewSchema("r", "A", "B")
+	p := Problem{
+		Schema: s,
+		Sigma:  []*cfd.CFD{cfd.New("c1", s, []string{"A"}, []string{"1"}, "B", "x")},
+	}
+	w, ok := Consistent(p)
+	if !ok {
+		t.Fatal("single constant CFD must be consistent")
+	}
+	if !cfd.SatisfiesAll(w, p.Sigma) {
+		t.Error("witness does not satisfy Sigma")
+	}
+}
+
+func TestInconsistentCFDs(t *testing.T) {
+	// Classic inconsistent pair on a schema with a single attribute that
+	// both rules force: (A=a -> A=b) with finite-domain style clash:
+	// c1: [A=_] -> [B=x], c2: [A=_] -> [B=y] is NOT inconsistent for a
+	// wildcard LHS... the canonical inconsistency uses the same constant
+	// LHS with different RHS constants on overlapping premises:
+	s := relation.NewSchema("r", "A", "B")
+	p := Problem{
+		Schema: s,
+		Sigma: []*cfd.CFD{
+			cfd.New("c1", s, []string{"A"}, []string{cfd.Wildcard}, "B", "x"),
+			cfd.New("c2", s, []string{"A"}, []string{cfd.Wildcard}, "B", "y"),
+		},
+	}
+	if _, ok := Consistent(p); ok {
+		t.Error("B forced to both x and y for every tuple: inconsistent")
+	}
+}
+
+func TestInconsistentSelfRule(t *testing.T) {
+	// (A=a -> A=b): any tuple with A=a must have A=b, impossible; but a
+	// tuple with A!=a is fine, so the set IS consistent. In contrast,
+	// pairing it with (A=_ -> A=a) forces A=a, a contradiction.
+	s := relation.NewSchema("r", "A")
+	norm := cfd.New("n", s, []string{"A"}, []string{"a"}, "A", "b")
+	if _, ok := Consistent(Problem{Schema: s, Sigma: []*cfd.CFD{norm}}); !ok {
+		t.Error("single normalization rule must be consistent")
+	}
+	force := cfd.New("f", s, []string{"A"}, []string{cfd.Wildcard}, "A", "a")
+	if _, ok := Consistent(Problem{Schema: s, Sigma: []*cfd.CFD{norm, force}}); ok {
+		t.Error("A forced to a and then to b: inconsistent")
+	}
+}
+
+func TestMDsAloneAlwaysConsistent(t *testing.T) {
+	// Section 4.1: any set of MDs is consistent.
+	ds := relation.NewSchema("r", "A", "B")
+	ms := relation.NewSchema("m", "A", "B")
+	dm := relation.New(ms)
+	dm.Append("a", "b")
+	p := Problem{
+		Schema: ds,
+		Gamma: []*md.MD{md.New("m1", ds, ms,
+			[]md.ClauseSpec{md.Eq("A", "A")},
+			[]md.PairSpec{{Data: "B", Master: "B"}})},
+		Master: dm,
+	}
+	if _, ok := Consistent(p); !ok {
+		t.Error("MDs alone must always be consistent")
+	}
+}
+
+func TestConsistencyInteractionCFDsAndMDs(t *testing.T) {
+	// The MD forces t[B] = s[B] = "b" whenever t[A] = "a"; the CFD forces
+	// t[B] = "c" whenever t[A] = "a". A tuple with A != a escapes both,
+	// so the set is consistent — but combined with (A=_ -> A=a) it is not.
+	ds := relation.NewSchema("r", "A", "B")
+	ms := relation.NewSchema("m", "A", "B")
+	dm := relation.New(ms)
+	dm.Append("a", "b")
+	gamma := []*md.MD{md.New("m1", ds, ms,
+		[]md.ClauseSpec{md.Eq("A", "A")},
+		[]md.PairSpec{{Data: "B", Master: "B"}})}
+	sigma := []*cfd.CFD{cfd.New("c1", ds, []string{"A"}, []string{"a"}, "B", "c")}
+	if _, ok := Consistent(Problem{Schema: ds, Sigma: sigma, Gamma: gamma, Master: dm}); !ok {
+		t.Error("escapable clash must be consistent")
+	}
+	force := cfd.New("f", ds, []string{"A"}, []string{cfd.Wildcard}, "A", "a")
+	p := Problem{Schema: ds, Sigma: append(sigma, force), Gamma: gamma, Master: dm}
+	if _, ok := Consistent(p); ok {
+		t.Error("MD and CFD clash on forced premise: inconsistent")
+	}
+}
+
+func TestImpliesCFDTransitivity(t *testing.T) {
+	// A -> B and B -> C imply A -> C.
+	s := relation.NewSchema("r", "A", "B", "C")
+	p := Problem{Schema: s, Sigma: []*cfd.CFD{
+		cfd.FD("ab", s, []string{"A"}, "B"),
+		cfd.FD("bc", s, []string{"B"}, "C"),
+	}}
+	if _, ok := ImpliesCFD(p, cfd.FD("ac", s, []string{"A"}, "C")); !ok {
+		t.Error("A->B, B->C must imply A->C")
+	}
+	// But they do not imply C -> A.
+	if cx, ok := ImpliesCFD(p, cfd.FD("ca", s, []string{"C"}, "A")); ok {
+		t.Error("C->A must not be implied")
+	} else if cx == nil || !cfd.SatisfiesAll(cx, p.Sigma) {
+		t.Error("counterexample must satisfy Sigma")
+	}
+}
+
+func TestImpliesConstantCFD(t *testing.T) {
+	// (A=1 -> B=x) and (B=x -> C=y) imply (A=1 -> C=y).
+	s := relation.NewSchema("r", "A", "B", "C")
+	p := Problem{Schema: s, Sigma: []*cfd.CFD{
+		cfd.New("c1", s, []string{"A"}, []string{"1"}, "B", "x"),
+		cfd.New("c2", s, []string{"B"}, []string{"x"}, "C", "y"),
+	}}
+	if _, ok := ImpliesCFD(p, cfd.New("q", s, []string{"A"}, []string{"1"}, "C", "y")); !ok {
+		t.Error("constant chain must be implied")
+	}
+	if _, ok := ImpliesCFD(p, cfd.New("q2", s, []string{"A"}, []string{"2"}, "C", "y")); ok {
+		t.Error("different premise constant must not be implied")
+	}
+}
+
+func TestImpliesMD(t *testing.T) {
+	ds := relation.NewSchema("r", "A", "B", "C")
+	ms := relation.NewSchema("m", "A", "B", "C")
+	dm := relation.New(ms)
+	dm.Append("a", "b", "c")
+	// Gamma: A=A -> B<=>B. Sigma: B=b -> C=c.
+	// Query MD A=A -> C<=>C: if t[A]=a then t[B]=b (MD), then t[C]=c
+	// (CFD), and the master C is c, so the query MD is implied.
+	p := Problem{
+		Schema: ds,
+		Sigma:  []*cfd.CFD{cfd.New("bc", ds, []string{"B"}, []string{"b"}, "C", "c")},
+		Gamma: []*md.MD{md.New("ab", ds, ms,
+			[]md.ClauseSpec{md.Eq("A", "A")},
+			[]md.PairSpec{{Data: "B", Master: "B"}})},
+		Master: dm,
+	}
+	q := md.New("ac", ds, ms,
+		[]md.ClauseSpec{md.Eq("A", "A")},
+		[]md.PairSpec{{Data: "C", Master: "C"}})
+	if cx, ok := ImpliesMD(p, q); !ok {
+		t.Errorf("MD must be implied; counterexample %v", cx.Tuples[0])
+	}
+	// Without the CFD the implication fails.
+	p2 := Problem{Schema: ds, Gamma: p.Gamma, Master: dm}
+	if _, ok := ImpliesMD(p2, q); ok {
+		t.Error("MD must not be implied without the CFD")
+	}
+}
+
+func TestImpliesMDNoMaster(t *testing.T) {
+	ds := relation.NewSchema("r", "A")
+	ms := relation.NewSchema("m", "A")
+	q := md.New("q", ds, ms, []md.ClauseSpec{md.Eq("A", "A")}, []md.PairSpec{{Data: "A", Master: "A"}})
+	if _, ok := ImpliesMD(Problem{Schema: ds}, q); !ok {
+		t.Error("MD implication is vacuous without master data")
+	}
+}
+
+func TestEmptyRuleSetConsistent(t *testing.T) {
+	s := relation.NewSchema("r", "A")
+	if _, ok := Consistent(Problem{Schema: s}); !ok {
+		t.Error("empty rule set must be consistent")
+	}
+}

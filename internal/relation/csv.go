@@ -1,0 +1,109 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation as CSV with a header row of attribute names.
+// Null values are written as the literal string "null".
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Attrs); err != nil {
+		return err
+	}
+	row := make([]string, r.Schema.Arity())
+	for _, t := range r.Tuples {
+		for i, v := range t.Values {
+			if IsNull(v) {
+				v = "null"
+			}
+			row[i] = v
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteConfCSV writes the per-cell confidences of the relation as CSV with
+// the same header and shape as WriteCSV.
+func (r *Relation) WriteConfCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Attrs); err != nil {
+		return err
+	}
+	row := make([]string, r.Schema.Arity())
+	for _, t := range r.Tuples {
+		for i, c := range t.Conf {
+			row[i] = strconv.FormatFloat(c, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation from CSV. The first row is the header and defines
+// the schema (with the given relation name). The literal value "null" is
+// read as Null. All confidences are zero; use ReadConfCSV to attach them.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	r := New(NewSchema(name, header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: row has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, v := range rec {
+			if v == "null" {
+				rec[i] = Null
+			}
+		}
+		r.Append(rec...)
+	}
+	return r, nil
+}
+
+// ReadConfCSV reads per-cell confidences (same shape as the relation, with a
+// header row) into r.
+func ReadConfCSV(r *Relation, rd io.Reader) error {
+	cr := csv.NewReader(rd)
+	if _, err := cr.Read(); err != nil {
+		return fmt.Errorf("relation: reading confidence header: %w", err)
+	}
+	for _, t := range r.Tuples {
+		rec, err := cr.Read()
+		if err != nil {
+			return fmt.Errorf("relation: reading confidence row for tuple %d: %w", t.ID, err)
+		}
+		if len(rec) != r.Schema.Arity() {
+			return fmt.Errorf("relation: confidence row has %d fields, want %d", len(rec), r.Schema.Arity())
+		}
+		for i, s := range rec {
+			c, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("relation: bad confidence %q: %w", s, err)
+			}
+			t.Conf[i] = c
+		}
+	}
+	return nil
+}

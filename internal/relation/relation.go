@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an instance of a schema: an ordered collection of tuples.
+type Relation struct {
+	Schema *Schema
+	Tuples []*Tuple
+}
+
+// New creates an empty relation over the given schema.
+func New(schema *Schema) *Relation {
+	return &Relation{Schema: schema}
+}
+
+// Append adds a new tuple with the given values, assigning it the next ID.
+// It panics if the number of values does not match the schema arity, since
+// that is a programming error, not a data error.
+func (r *Relation) Append(values ...string) *Tuple {
+	if len(values) != r.Schema.Arity() {
+		panic(fmt.Sprintf("relation: %d values for schema %s of arity %d",
+			len(values), r.Schema.Name, r.Schema.Arity()))
+	}
+	t := NewTuple(len(r.Tuples), values)
+	r.Tuples = append(r.Tuples, t)
+	return t
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone returns a deep copy of the relation sharing the schema.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Tuples: make([]*Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// ActiveDomain returns the sorted distinct non-null values of attribute a.
+func (r *Relation) ActiveDomain(a int) []string {
+	seen := make(map[string]struct{})
+	for _, t := range r.Tuples {
+		v := t.Values[a]
+		if IsNull(v) {
+			continue
+		}
+		seen[v] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetAllConf assigns confidence cf to every cell of the relation.
+func (r *Relation) SetAllConf(cf float64) {
+	for _, t := range r.Tuples {
+		for i := range t.Conf {
+			t.Conf[i] = cf
+		}
+	}
+}
+
+// DiffCells counts cells on which r and other disagree. Both relations must
+// have the same schema and cardinality; tuples are compared by position.
+func (r *Relation) DiffCells(other *Relation) int {
+	if r.Schema.Arity() != other.Schema.Arity() || r.Len() != other.Len() {
+		panic("relation: DiffCells on incompatible relations")
+	}
+	n := 0
+	for i, t := range r.Tuples {
+		u := other.Tuples[i]
+		for a := range t.Values {
+			if t.Values[a] != u.Values[a] {
+				n++
+			}
+		}
+	}
+	return n
+}

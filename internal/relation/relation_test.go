@@ -1,0 +1,236 @@
+package relation
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaIndex(t *testing.T) {
+	s := NewSchema("tran", "FN", "LN", "city")
+	if got := s.Arity(); got != 3 {
+		t.Fatalf("Arity = %d, want 3", got)
+	}
+	if got := s.Index("LN"); got != 1 {
+		t.Errorf("Index(LN) = %d, want 1", got)
+	}
+	if got := s.Index("missing"); got != -1 {
+		t.Errorf("Index(missing) = %d, want -1", got)
+	}
+	if got := s.MustIndex("city"); got != 2 {
+		t.Errorf("MustIndex(city) = %d, want 2", got)
+	}
+	if got := s.String(); got != "tran(FN, LN, city)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSchema with duplicate attrs did not panic")
+		}
+	}()
+	NewSchema("r", "A", "A")
+}
+
+func TestMustIndexUnknownPanics(t *testing.T) {
+	s := NewSchema("r", "A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on unknown attr did not panic")
+		}
+	}()
+	s.MustIndex("B")
+}
+
+func TestMustIndexAll(t *testing.T) {
+	s := NewSchema("r", "A", "B", "C")
+	if got := s.MustIndexAll("C", "A"); !reflect.DeepEqual(got, []int{2, 0}) {
+		t.Errorf("MustIndexAll = %v", got)
+	}
+}
+
+func TestAppendAndIDs(t *testing.T) {
+	r := New(NewSchema("r", "A", "B"))
+	t0 := r.Append("x", "y")
+	t1 := r.Append("z", "w")
+	if t0.ID != 0 || t1.ID != 1 {
+		t.Errorf("IDs = %d,%d, want 0,1", t0.ID, t1.ID)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestAppendWrongArityPanics(t *testing.T) {
+	r := New(NewSchema("r", "A", "B"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append with wrong arity did not panic")
+		}
+	}()
+	r.Append("only one")
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	r := New(NewSchema("r", "A", "B"))
+	tup := r.Append("x", "y")
+	tup.Conf[0] = 0.5
+	c := tup.Clone()
+	c.Values[0] = "changed"
+	c.Conf[0] = 0.9
+	c.Marks[1] = FixReliable
+	if tup.Values[0] != "x" || tup.Conf[0] != 0.5 || tup.Marks[1] != FixNone {
+		t.Errorf("Clone mutated original: %v %v %v", tup.Values, tup.Conf, tup.Marks)
+	}
+}
+
+func TestRelationCloneIndependent(t *testing.T) {
+	r := New(NewSchema("r", "A"))
+	r.Append("x")
+	c := r.Clone()
+	c.Tuples[0].Values[0] = "y"
+	if r.Tuples[0].Values[0] != "x" {
+		t.Error("Relation.Clone shares tuple storage")
+	}
+}
+
+func TestProjectAndKey(t *testing.T) {
+	r := New(NewSchema("r", "A", "B", "C"))
+	tup := r.Append("1", "2", "3")
+	if got := tup.Project([]int{2, 0}); !reflect.DeepEqual(got, []string{"3", "1"}) {
+		t.Errorf("Project = %v", got)
+	}
+	k1 := tup.Key([]int{0, 1})
+	k2 := tup.Key([]int{0, 1})
+	if k1 != k2 {
+		t.Error("Key not deterministic")
+	}
+}
+
+func TestKeyCollisionResistance(t *testing.T) {
+	// ("a\x1f", "b") must not collide with ("a", "\x1fb").
+	r := New(NewSchema("r", "A", "B"))
+	t1 := r.Append("a\x1f", "b")
+	t2 := r.Append("a", "\x1fb")
+	if t1.Key([]int{0, 1}) == t2.Key([]int{0, 1}) {
+		t.Error("Key collides on separator-containing values")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	r := New(NewSchema("r", "A"))
+	r.Append("b")
+	r.Append("a")
+	r.Append("b")
+	r.Append(Null)
+	if got := r.ActiveDomain(0); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("ActiveDomain = %v", got)
+	}
+}
+
+func TestDiffCells(t *testing.T) {
+	r := New(NewSchema("r", "A", "B"))
+	r.Append("x", "y")
+	r.Append("z", "w")
+	c := r.Clone()
+	c.Tuples[0].Values[1] = "Y"
+	c.Tuples[1].Values[0] = "Z"
+	if got := r.DiffCells(c); got != 2 {
+		t.Errorf("DiffCells = %d, want 2", got)
+	}
+}
+
+func TestSetAllConf(t *testing.T) {
+	r := New(NewSchema("r", "A", "B"))
+	r.Append("x", "y")
+	r.SetAllConf(0.7)
+	if r.Tuples[0].Conf[1] != 0.7 {
+		t.Errorf("Conf = %v", r.Tuples[0].Conf)
+	}
+}
+
+func TestTupleSet(t *testing.T) {
+	r := New(NewSchema("r", "A"))
+	tup := r.Append("x")
+	tup.Set(0, "y", 0.8, FixDeterministic)
+	if tup.Values[0] != "y" || tup.Conf[0] != 0.8 || tup.Marks[0] != FixDeterministic {
+		t.Errorf("Set: %v %v %v", tup.Values, tup.Conf, tup.Marks)
+	}
+}
+
+func TestFixMarkString(t *testing.T) {
+	cases := map[FixMark]string{
+		FixNone: "none", FixDeterministic: "deterministic",
+		FixReliable: "reliable", FixPossible: "possible", FixMark(9): "FixMark(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New(NewSchema("tran", "A", "B"))
+	r.Append("hello, world", "x\"quoted\"")
+	r.Append(Null, "plain")
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("tran", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip Len = %d", back.Len())
+	}
+	if !reflect.DeepEqual(back.Tuples[0].Values, r.Tuples[0].Values) {
+		t.Errorf("row0 = %v, want %v", back.Tuples[0].Values, r.Tuples[0].Values)
+	}
+	if !IsNull(back.Tuples[1].Values[0]) {
+		t.Errorf("null not round-tripped: %q", back.Tuples[1].Values[0])
+	}
+}
+
+func TestConfCSVRoundTrip(t *testing.T) {
+	r := New(NewSchema("r", "A", "B"))
+	tu := r.Append("x", "y")
+	tu.Conf[0], tu.Conf[1] = 0.25, 1
+	var buf bytes.Buffer
+	if err := r.WriteConfCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Clone()
+	c.SetAllConf(0)
+	if err := ReadConfCSV(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tuples[0].Conf[0] != 0.25 || c.Tuples[0].Conf[1] != 1 {
+		t.Errorf("Conf = %v", c.Tuples[0].Conf)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("r", strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+}
+
+func TestKeyInjectiveProperty(t *testing.T) {
+	// Property: distinct value slices yield distinct keys (escaping works).
+	f := func(a1, a2, b1, b2 string) bool {
+		r := New(NewSchema("r", "A", "B"))
+		t1 := r.Append(a1, a2)
+		t2 := r.Append(b1, b2)
+		same := a1 == b1 && a2 == b2
+		return (t1.Key([]int{0, 1}) == t2.Key([]int{0, 1})) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

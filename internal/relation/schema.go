@@ -1,0 +1,83 @@
+// Package relation implements the relational data model used throughout
+// UniClean: schemas, tuples with per-cell confidence values and fix marks,
+// relations, active domains and CSV input/output.
+//
+// Values are strings, as in the paper's data model. A cell additionally
+// carries a confidence in [0,1] (the cf rows of Fig. 1(b) in the paper) and a
+// fix mark recording which cleaning phase, if any, last wrote it.
+package relation
+
+import "fmt"
+
+// Null is the representation of SQL null. Pattern tuples never match Null,
+// while equality comparisons against Null succeed under the simple SQL
+// semantics adopted in Section 7 of the paper.
+const Null = ""
+
+// IsNull reports whether v is the null value.
+func IsNull(v string) bool { return v == Null }
+
+// Schema describes a relation: a name and an ordered list of attributes.
+type Schema struct {
+	Name  string
+	Attrs []string
+	index map[string]int
+}
+
+// NewSchema creates a schema with the given relation name and attributes.
+// Attribute names must be unique; NewSchema panics otherwise since schemas
+// are static program data, not user input.
+func NewSchema(name string, attrs ...string) *Schema {
+	s := &Schema{Name: name, Attrs: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema %s", a, name))
+		}
+		s.index[a] = i
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// Index returns the position of attr, or -1 if the schema has no such
+// attribute.
+func (s *Schema) Index(attr string) int {
+	if i, ok := s.index[attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is like Index but panics on unknown attributes. It is intended
+// for statically known rule definitions.
+func (s *Schema) MustIndex(attr string) int {
+	i := s.Index(attr)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: schema %s has no attribute %q", s.Name, attr))
+	}
+	return i
+}
+
+// MustIndexAll maps a list of attribute names to positions, panicking on any
+// unknown name.
+func (s *Schema) MustIndexAll(attrs ...string) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		out[i] = s.MustIndex(a)
+	}
+	return out
+}
+
+// String returns the schema in R(A1,...,An) form.
+func (s *Schema) String() string {
+	out := s.Name + "("
+	for i, a := range s.Attrs {
+		if i > 0 {
+			out += ", "
+		}
+		out += a
+	}
+	return out + ")"
+}

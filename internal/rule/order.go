@@ -1,0 +1,135 @@
+package rule
+
+import "sort"
+
+// Graph is the dependency graph of a rule set (Section 6.2): nodes are
+// rules; there is an edge u -> v when the attributes written by u intersect
+// the attributes read by v, i.e. applying u can enable v.
+type Graph struct {
+	Rules []Rule
+	Adj   [][]int // Adj[u] lists v with an edge u -> v (deduplicated)
+}
+
+// BuildGraph constructs the dependency graph of rules.
+func BuildGraph(rules []Rule) *Graph {
+	g := &Graph{Rules: rules, Adj: make([][]int, len(rules))}
+	reads := make([]map[int]bool, len(rules))
+	for i, r := range rules {
+		reads[i] = make(map[int]bool)
+		for _, a := range r.LHSAttrs() {
+			reads[i][a] = true
+		}
+	}
+	for u, r := range rules {
+		seen := make(map[int]bool)
+		for _, a := range r.RHSAttrs() {
+			for v := range rules {
+				if !seen[v] && reads[v][a] {
+					seen[v] = true
+					g.Adj[u] = append(g.Adj[u], v)
+				}
+			}
+		}
+		sort.Ints(g.Adj[u])
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of g in reverse topological
+// order of the condensation (Tarjan's algorithm): if SCC S1 has an edge into
+// SCC S2, S2 appears before S1 in the result.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.Rules)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Adj[v] {
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strong(v)
+		}
+	}
+	return comps
+}
+
+// Order returns the rule application order of Section 6.2:
+//  1. find the SCCs of the dependency graph;
+//  2. topologically order the condensation (rules whose application affects
+//     others come first);
+//  3. within each SCC, sort by the ratio of out-degree to in-degree in
+//     decreasing order — the higher the ratio, the more effect the rule has
+//     on other rules. Ties keep the original rule order.
+func Order(rules []Rule) []Rule {
+	g := BuildGraph(rules)
+	comps := g.SCCs()
+	// Tarjan yields reverse topological order; iterate backwards so that
+	// components with outgoing edges come first.
+	out := make([]Rule, 0, len(rules))
+	outDeg := make([]int, len(rules))
+	inDeg := make([]int, len(rules))
+	for u, vs := range g.Adj {
+		outDeg[u] += len(vs)
+		for _, v := range vs {
+			inDeg[v]++
+		}
+	}
+	ratio := func(u int) float64 {
+		if inDeg[u] == 0 {
+			// No rule feeds u; it is a pure source and comes first.
+			return float64(outDeg[u]) + 1e9
+		}
+		return float64(outDeg[u]) / float64(inDeg[u])
+	}
+	for i := len(comps) - 1; i >= 0; i-- {
+		comp := append([]int(nil), comps[i]...)
+		sort.SliceStable(comp, func(a, b int) bool {
+			ra, rb := ratio(comp[a]), ratio(comp[b])
+			if ra != rb {
+				return ra > rb
+			}
+			return comp[a] < comp[b]
+		})
+		for _, u := range comp {
+			out = append(out, g.Rules[u])
+		}
+	}
+	return out
+}

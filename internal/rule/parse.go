@@ -1,0 +1,196 @@
+package rule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+// ParseRules parses a rules file into CFDs and MDs. The line-oriented format
+// is:
+//
+//	# comment
+//	cfd AC=131, city=_ -> city=Edi
+//	cfd city, phn -> St, AC, post
+//	md LN=LN, city=city, St=St, post=zip, FN~FN(edit<=2) -> FN=FN, phn=tel
+//
+// CFD items are "attr" or "attr=value"; a bare attr (or value "_") is the
+// unnamed variable. MD premise items are "dataAttr=masterAttr" for equality
+// or "dataAttr~masterAttr(pred)" with pred one of edit<=K, jw>=X,
+// jaccardQ>=X. Multi-attribute right-hand sides are normalized.
+func ParseRules(data, master *relation.Schema, text string) ([]*cfd.CFD, []*md.MD, error) {
+	var cfds []*cfd.CFD
+	var mds []*md.MD
+	nCFD, nMD := 0, 0
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: missing rule body", ln+1)
+		}
+		lhs, rhs, ok := strings.Cut(rest, "->")
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: missing '->'", ln+1)
+		}
+		switch kind {
+		case "cfd":
+			nCFD++
+			c, err := parseCFD(fmt.Sprintf("cfd%d", nCFD), data, lhs, rhs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			cfds = append(cfds, c...)
+		case "md":
+			nMD++
+			if master == nil {
+				return nil, nil, fmt.Errorf("line %d: md rule but no master schema", ln+1)
+			}
+			m, err := parseMD(fmt.Sprintf("md%d", nMD), data, master, lhs, rhs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			mds = append(mds, m.Normalize()...)
+		default:
+			return nil, nil, fmt.Errorf("line %d: unknown rule kind %q", ln+1, kind)
+		}
+	}
+	return cfds, mds, nil
+}
+
+func parseCFD(name string, schema *relation.Schema, lhs, rhs string) ([]*cfd.CFD, error) {
+	raw := cfd.Raw{Name: name, Schema: schema}
+	for _, item := range splitItems(lhs) {
+		attr, pat := splitAttrValue(item)
+		if schema.Index(attr) < 0 {
+			return nil, fmt.Errorf("unknown attribute %q", attr)
+		}
+		raw.LHS = append(raw.LHS, attr)
+		raw.LHSPattern = append(raw.LHSPattern, pat)
+	}
+	if len(raw.LHS) == 0 {
+		return nil, fmt.Errorf("empty LHS")
+	}
+	for _, item := range splitItems(rhs) {
+		attr, pat := splitAttrValue(item)
+		if schema.Index(attr) < 0 {
+			return nil, fmt.Errorf("unknown attribute %q", attr)
+		}
+		raw.RHS = append(raw.RHS, attr)
+		raw.RHSPattern = append(raw.RHSPattern, pat)
+	}
+	if len(raw.RHS) == 0 {
+		return nil, fmt.Errorf("empty RHS")
+	}
+	return raw.Normalize(), nil
+}
+
+func parseMD(name string, data, master *relation.Schema, lhs, rhs string) (*md.MD, error) {
+	var clauses []md.ClauseSpec
+	for _, item := range splitItems(lhs) {
+		switch {
+		case strings.Contains(item, "~"):
+			d, rest, _ := strings.Cut(item, "~")
+			open := strings.IndexByte(rest, '(')
+			if open < 0 || !strings.HasSuffix(rest, ")") {
+				return nil, fmt.Errorf("bad similarity clause %q", item)
+			}
+			m := rest[:open]
+			pred, err := parsePredicate(rest[open+1 : len(rest)-1])
+			if err != nil {
+				return nil, err
+			}
+			if data.Index(strings.TrimSpace(d)) < 0 || master.Index(strings.TrimSpace(m)) < 0 {
+				return nil, fmt.Errorf("unknown attribute in %q", item)
+			}
+			clauses = append(clauses, md.Sim(strings.TrimSpace(d), strings.TrimSpace(m), pred))
+		case strings.Contains(item, "="):
+			d, m, _ := strings.Cut(item, "=")
+			d, m = strings.TrimSpace(d), strings.TrimSpace(m)
+			if data.Index(d) < 0 || master.Index(m) < 0 {
+				return nil, fmt.Errorf("unknown attribute in %q", item)
+			}
+			clauses = append(clauses, md.Eq(d, m))
+		default:
+			return nil, fmt.Errorf("bad MD clause %q", item)
+		}
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("empty MD premise")
+	}
+	var pairs []md.PairSpec
+	for _, item := range splitItems(rhs) {
+		d, m, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad MD conclusion %q", item)
+		}
+		d, m = strings.TrimSpace(d), strings.TrimSpace(m)
+		if data.Index(d) < 0 || master.Index(m) < 0 {
+			return nil, fmt.Errorf("unknown attribute in %q", item)
+		}
+		pairs = append(pairs, md.PairSpec{Data: d, Master: m})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("empty MD conclusion")
+	}
+	return md.New(name, data, master, clauses, pairs), nil
+}
+
+func parsePredicate(s string) (similarity.Predicate, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "=":
+		return similarity.Equal(), nil
+	case strings.HasPrefix(s, "edit<="):
+		k, err := strconv.Atoi(s[len("edit<="):])
+		if err != nil {
+			return similarity.Predicate{}, fmt.Errorf("bad edit threshold %q", s)
+		}
+		return similarity.EditWithin(k), nil
+	case strings.HasPrefix(s, "jw>="):
+		th, err := strconv.ParseFloat(s[len("jw>="):], 64)
+		if err != nil {
+			return similarity.Predicate{}, fmt.Errorf("bad jw threshold %q", s)
+		}
+		return similarity.JaroWinklerAtLeast(th), nil
+	case strings.HasPrefix(s, "jaccard"):
+		rest := s[len("jaccard"):]
+		qs, ths, ok := strings.Cut(rest, ">=")
+		if !ok {
+			return similarity.Predicate{}, fmt.Errorf("bad jaccard predicate %q", s)
+		}
+		q, err1 := strconv.Atoi(qs)
+		th, err2 := strconv.ParseFloat(ths, 64)
+		if err1 != nil || err2 != nil {
+			return similarity.Predicate{}, fmt.Errorf("bad jaccard predicate %q", s)
+		}
+		return similarity.JaccardAtLeast(q, th), nil
+	default:
+		return similarity.Predicate{}, fmt.Errorf("unknown predicate %q", s)
+	}
+}
+
+func splitItems(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+func splitAttrValue(item string) (attr, pattern string) {
+	if a, v, ok := strings.Cut(item, "="); ok {
+		return strings.TrimSpace(a), strings.TrimSpace(v)
+	}
+	return item, cfd.Wildcard
+}

@@ -1,0 +1,60 @@
+package similarity
+
+import "fmt"
+
+// Predicate is a similarity predicate from the set Υ of Section 2.2: a named
+// binary test on attribute values. Equality is the special predicate used
+// when an MD premise requires exact agreement.
+type Predicate struct {
+	// Name identifies the predicate for display and rule parsing, e.g.
+	// "=", "edit<=2", "jw>=0.9".
+	Name string
+	// Exact reports that the predicate is plain equality. Cleaning rules
+	// use this to decide whether a premise attribute contributes its
+	// confidence to a fix (Section 3.1: d is the minimum t[Aj].cf for all
+	// j with ≈j being '=').
+	Exact bool
+	// Match tests the predicate. Following the SQL-style semantics of
+	// Section 7, a null on either side never matches.
+	match func(a, b string) bool
+}
+
+// Match reports whether the predicate holds on (a, b). Null never matches.
+func (p Predicate) Match(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	return p.match(a, b)
+}
+
+// String returns the predicate name.
+func (p Predicate) String() string { return p.Name }
+
+// Equal returns the equality predicate.
+func Equal() Predicate {
+	return Predicate{Name: "=", Exact: true, match: func(a, b string) bool { return a == b }}
+}
+
+// EditWithin returns the predicate "edit distance at most k".
+func EditWithin(k int) Predicate {
+	return Predicate{
+		Name:  fmt.Sprintf("edit<=%d", k),
+		match: func(a, b string) bool { return Within(a, b, k) },
+	}
+}
+
+// JaroWinklerAtLeast returns the predicate "Jaro-Winkler similarity >= th".
+func JaroWinklerAtLeast(th float64) Predicate {
+	return Predicate{
+		Name:  fmt.Sprintf("jw>=%g", th),
+		match: func(a, b string) bool { return JaroWinkler(a, b) >= th },
+	}
+}
+
+// JaccardAtLeast returns the predicate "q-gram Jaccard similarity >= th".
+func JaccardAtLeast(q int, th float64) Predicate {
+	return Predicate{
+		Name:  fmt.Sprintf("jaccard%d>=%g", q, th),
+		match: func(a, b string) bool { return Jaccard(a, b, q) >= th },
+	}
+}

@@ -1,0 +1,263 @@
+package similarity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Bob", "Robert", 4},
+		{"3887834", "3887644", 2},
+		{"Edi", "Ldn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 60 {
+			a = a[:60]
+		}
+		if len(b) > 60 {
+			b = b[:60]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		if len(c) > 30 {
+			c = c[:30]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinAgreesWithLevenshtein(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alpha := "abcde"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 500; i++ {
+		a := randStr(rng.Intn(12))
+		b := randStr(rng.Intn(12))
+		d := Levenshtein(a, b)
+		for k := 0; k <= 6; k++ {
+			if got := Within(a, b, k); got != (d <= k) {
+				t.Fatalf("Within(%q,%q,%d) = %v, Levenshtein = %d", a, b, k, got, d)
+			}
+		}
+	}
+}
+
+func TestWithinNegativeK(t *testing.T) {
+	if Within("a", "a", -1) {
+		t.Error("Within with k<0 must be false")
+	}
+}
+
+func TestNormalizedDistance(t *testing.T) {
+	if got := NormalizedDistance("abc", "abc"); got != 0 {
+		t.Errorf("equal strings: %g", got)
+	}
+	if got := NormalizedDistance("", ""); got != 0 {
+		t.Errorf("empty strings: %g", got)
+	}
+	if got := NormalizedDistance("abcd", ""); got != 1 {
+		t.Errorf("vs empty: %g", got)
+	}
+	// 1-char difference on longer strings is closer than on shorter ones
+	// (the paper's motivation for the normalization).
+	long := NormalizedDistance("abcdefghij", "abcdefghix")
+	short := NormalizedDistance("ab", "ax")
+	if long >= short {
+		t.Errorf("long %g should be < short %g", long, short)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classical textbook values.
+	if got := Jaro("MARTHA", "MARHTA"); !close(got, 0.944444, 1e-4) {
+		t.Errorf("Jaro(MARTHA,MARHTA) = %g", got)
+	}
+	if got := Jaro("DIXON", "DICKSONX"); !close(got, 0.766667, 1e-4) {
+		t.Errorf("Jaro(DIXON,DICKSONX) = %g", got)
+	}
+	if got := Jaro("", "x"); got != 0 {
+		t.Errorf("Jaro empty = %g", got)
+	}
+	if got := Jaro("same", "same"); got != 1 {
+		t.Errorf("Jaro same = %g", got)
+	}
+	if got := Jaro("ab", "xy"); got != 0 {
+		t.Errorf("Jaro disjoint = %g", got)
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	if got := JaroWinkler("MARTHA", "MARHTA"); !close(got, 0.961111, 1e-4) {
+		t.Errorf("JaroWinkler = %g", got)
+	}
+	if JaroWinkler("prefix_abc", "prefix_xyz") <= Jaro("prefix_abc", "prefix_xyz") {
+		t.Error("Winkler boost missing for shared prefix")
+	}
+}
+
+func TestJaroRange(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		j := Jaro(a, b)
+		jw := JaroWinkler(a, b)
+		return j >= 0 && j <= 1 && jw >= j && jw <= 1.000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	g := QGrams("abab", 2)
+	if g["ab"] != 2 || g["ba"] != 1 || len(g) != 2 {
+		t.Errorf("QGrams(abab,2) = %v", g)
+	}
+	if g := QGrams("a", 2); g["a"] != 1 {
+		t.Errorf("short string grams = %v", g)
+	}
+	if g := QGrams("", 2); len(g) != 0 {
+		t.Errorf("empty string grams = %v", g)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard("abc", "abc", 2); got != 1 {
+		t.Errorf("identical = %g", got)
+	}
+	if got := Jaccard("abc", "xyz", 2); got != 0 {
+		t.Errorf("disjoint = %g", got)
+	}
+	if got := Jaccard("", "", 2); got != 1 {
+		t.Errorf("both empty = %g", got)
+	}
+}
+
+func TestLCSubstring(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"abcdef", "zabcy", 3},
+		{"same", "same", 4},
+		{"xyabcz", "pqabcr", 3},
+		{"a", "b", 0},
+	}
+	for _, c := range cases {
+		if got := LCSubstring(c.a, c.b); got != c.want {
+			t.Errorf("LCSubstring(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBlockingBound(t *testing.T) {
+	// If edit distance <= K then LCSubstring >= floor(max(|a|,|b|)/(K+1)):
+	// partition the longer string into K+1 segments; K edits leave at least
+	// one untouched (the blocking bound of Section 5.2). Verify on random
+	// data.
+	rng := rand.New(rand.NewSource(7))
+	alpha := "abcdef"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 300; i++ {
+		a := randStr(4 + rng.Intn(12))
+		b := randStr(4 + rng.Intn(12))
+		k := Levenshtein(a, b)
+		m := len(a)
+		if len(b) > m {
+			m = len(b)
+		}
+		if lcs := LCSubstring(a, b); lcs < m/(k+1) {
+			t.Fatalf("bound violated: a=%q b=%q k=%d lcs=%d", a, b, k, lcs)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	eq := Equal()
+	if !eq.Exact || !eq.Match("x", "x") || eq.Match("x", "y") {
+		t.Error("Equal predicate broken")
+	}
+	if eq.Match("", "") {
+		t.Error("null must never match")
+	}
+	ed := EditWithin(2)
+	if ed.Exact {
+		t.Error("EditWithin must not be Exact")
+	}
+	if !ed.Match("Bob", "Rob") || ed.Match("Bob", "Robert") {
+		t.Error("EditWithin(2) misbehaves")
+	}
+	jw := JaroWinklerAtLeast(0.85)
+	if !jw.Match("Mark", "Marc") || jw.Match("Mark", "Quentin") {
+		t.Error("JaroWinklerAtLeast misbehaves")
+	}
+	jc := JaccardAtLeast(2, 0.5)
+	if !jc.Match("abcdef", "abcdef") || jc.Match("abcdef", "uvwxyz") {
+		t.Error("JaccardAtLeast misbehaves")
+	}
+	if got := ed.String(); got != "edit<=2" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func close(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,225 @@
+// Package suffixtree implements the generalized suffix tree used for
+// longest-common-substring (LCS) blocking in Section 5.2 of the paper.
+//
+// The tree indexes the distinct strings of a master-data attribute's active
+// domain. Each node corresponds to a common substring and maintains the set
+// of indexed strings containing it, exactly as described in the paper. A
+// lookup for a query string v extracts the subtree related to v (at most
+// |v|^2 node visits) and returns the top-l indexed strings ranked by the
+// length of their longest common substring with v, reducing the MD-matching
+// search space from |Dm| to a constant l.
+package suffixtree
+
+import "sort"
+
+// Tree is a generalized suffix tree over a set of strings.
+type Tree struct {
+	strings []string
+	root    *node
+}
+
+type node struct {
+	children map[byte]*edge
+	// ids lists, in increasing order, the indexed strings whose suffixes
+	// pass through this node, i.e. the strings containing the substring
+	// this node spells.
+	ids []int32
+}
+
+type edge struct {
+	label string
+	to    *node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{children: make(map[byte]*edge)}}
+}
+
+// Len returns the number of indexed strings.
+func (t *Tree) Len() int { return len(t.strings) }
+
+// String returns the indexed string with the given id.
+func (t *Tree) String(id int) string { return t.strings[id] }
+
+// Add indexes s and returns its id. Duplicate strings receive distinct ids;
+// callers indexing an active domain should deduplicate first.
+func (t *Tree) Add(s string) int {
+	id := int32(len(t.strings))
+	t.strings = append(t.strings, s)
+	for j := 0; j < len(s); j++ {
+		t.insertSuffix(s[j:], id)
+	}
+	return int(id)
+}
+
+func (n *node) addID(id int32) {
+	if k := len(n.ids); k > 0 && n.ids[k-1] == id {
+		return
+	}
+	n.ids = append(n.ids, id)
+}
+
+func (t *Tree) insertSuffix(suf string, id int32) {
+	cur := t.root
+	i := 0
+	for i < len(suf) {
+		e, ok := cur.children[suf[i]]
+		if !ok {
+			leaf := &node{children: make(map[byte]*edge), ids: []int32{id}}
+			cur.children[suf[i]] = &edge{label: suf[i:], to: leaf}
+			return
+		}
+		j := 0
+		for j < len(e.label) && i+j < len(suf) && e.label[j] == suf[i+j] {
+			j++
+		}
+		if j == len(e.label) {
+			cur = e.to
+			cur.addID(id)
+			i += j
+			continue
+		}
+		// Split the edge at offset j. The new middle node inherits the
+		// id set of the old subtree; since ids are inserted in
+		// increasing order, appending id keeps the set sorted.
+		mid := &node{
+			children: map[byte]*edge{e.label[j]: {label: e.label[j:], to: e.to}},
+			ids:      append([]int32(nil), e.to.ids...),
+		}
+		e.label = e.label[:j]
+		e.to = mid
+		mid.addID(id)
+		if i+j == len(suf) {
+			return
+		}
+		leaf := &node{children: make(map[byte]*edge), ids: []int32{id}}
+		mid.children[suf[i+j]] = &edge{label: suf[i+j:], to: leaf}
+		return
+	}
+}
+
+// locate walks sub from the root and returns the deepest reached edge target
+// whose path spells a prefix extending sub, or nil when sub is not a
+// substring of any indexed string.
+func (t *Tree) locate(sub string) *node {
+	cur := t.root
+	i := 0
+	for i < len(sub) {
+		e, ok := cur.children[sub[i]]
+		if !ok {
+			return nil
+		}
+		j := 0
+		for j < len(e.label) && i+j < len(sub) {
+			if e.label[j] != sub[i+j] {
+				return nil
+			}
+			j++
+		}
+		i += j
+		cur = e.to
+	}
+	return cur
+}
+
+// Contains reports whether sub is a substring of some indexed string.
+func (t *Tree) Contains(sub string) bool {
+	if sub == "" {
+		return t.Len() > 0
+	}
+	return t.locate(sub) != nil
+}
+
+// StringsContaining returns the ids of all indexed strings that contain sub,
+// in increasing order.
+func (t *Tree) StringsContaining(sub string) []int {
+	if sub == "" {
+		out := make([]int, t.Len())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	n := t.locate(sub)
+	if n == nil {
+		return nil
+	}
+	out := make([]int, len(n.ids))
+	for i, id := range n.ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// Match is a blocking candidate: an indexed string and the length of its
+// longest common substring with the query.
+type Match struct {
+	ID  int
+	LCS int
+}
+
+// TopL returns up to l indexed strings ranked by LCS length with v
+// (descending, ties broken by id), considering only common substrings of
+// length at least minLen. minLen implements the blocking bound of Section
+// 5.2: strings within edit distance K of v share a common substring of
+// length at least max(|u|,|v|)/(K+1), so candidates below that bound can be
+// skipped. A minLen < 1 is treated as 1.
+func (t *Tree) TopL(v string, l, minLen int) []Match {
+	if l <= 0 || len(v) == 0 {
+		return nil
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	best := make(map[int32]int)
+	for i := 0; i < len(v); i++ {
+		t.walkFrom(v[i:], minLen, best)
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	out := make([]Match, 0, len(best))
+	for id, lcs := range best {
+		out = append(out, Match{ID: int(id), LCS: lcs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LCS != out[j].LCS {
+			return out[i].LCS > out[j].LCS
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > l {
+		out = out[:l]
+	}
+	return out
+}
+
+// walkFrom matches suf greedily from the root and records, for every string
+// under each visited locus at depth >= minLen, the matched depth.
+func (t *Tree) walkFrom(suf string, minLen int, best map[int32]int) {
+	cur := t.root
+	depth := 0
+	for depth < len(suf) {
+		e, ok := cur.children[suf[depth]]
+		if !ok {
+			return
+		}
+		j := 0
+		for j < len(e.label) && depth+j < len(suf) && e.label[j] == suf[depth+j] {
+			j++
+		}
+		depth += j
+		if depth >= minLen {
+			for _, id := range e.to.ids {
+				if depth > best[id] {
+					best[id] = depth
+				}
+			}
+		}
+		if j < len(e.label) {
+			return // stopped mid-edge
+		}
+		cur = e.to
+	}
+}

@@ -1,0 +1,200 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+func TestContains(t *testing.T) {
+	tr := New()
+	tr.Add("banana")
+	tr.Add("bandana")
+	for _, sub := range []string{"banana", "anana", "nan", "a", "bandana", "ndan", ""} {
+		if !tr.Contains(sub) {
+			t.Errorf("Contains(%q) = false", sub)
+		}
+	}
+	for _, sub := range []string{"bananas", "xyz", "bb", "aaa"} {
+		if tr.Contains(sub) {
+			t.Errorf("Contains(%q) = true", sub)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Contains("") {
+		t.Error("empty tree contains empty string")
+	}
+	if got := tr.StringsContaining("x"); got != nil {
+		t.Errorf("StringsContaining = %v", got)
+	}
+	if got := tr.TopL("abc", 3, 1); got != nil {
+		t.Errorf("TopL = %v", got)
+	}
+}
+
+func TestStringsContaining(t *testing.T) {
+	tr := New()
+	tr.Add("banana")  // 0
+	tr.Add("bandana") // 1
+	tr.Add("cabana")  // 2
+	cases := []struct {
+		sub  string
+		want []int
+	}{
+		{"ana", []int{0, 1, 2}},
+		{"band", []int{1}},
+		{"nan", []int{0}},
+		{"cab", []int{2}},
+		{"zzz", nil},
+		{"", []int{0, 1, 2}},
+	}
+	for _, c := range cases {
+		got := tr.StringsContaining(c.sub)
+		if !equalInts(got, c.want) {
+			t.Errorf("StringsContaining(%q) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestStringAccessor(t *testing.T) {
+	tr := New()
+	id := tr.Add("hello")
+	if tr.String(id) != "hello" || tr.Len() != 1 {
+		t.Error("String/Len broken")
+	}
+}
+
+func TestTopLRanksAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alpha := "abcd"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 30; trial++ {
+		tr := New()
+		n := 5 + rng.Intn(15)
+		seen := make(map[string]bool)
+		for i := 0; i < n; i++ {
+			s := randStr(3 + rng.Intn(10))
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			tr.Add(s)
+		}
+		v := randStr(3 + rng.Intn(10))
+		got := tr.TopL(v, tr.Len(), 1)
+		// Brute force: exact LCS per string.
+		for _, m := range got {
+			want := similarity.LCSubstring(v, tr.String(m.ID))
+			if m.LCS != want {
+				t.Fatalf("TopL LCS for %q vs %q = %d, want %d", v, tr.String(m.ID), m.LCS, want)
+			}
+		}
+		// Every string with LCS >= 1 must be reported.
+		for id := 0; id < tr.Len(); id++ {
+			want := similarity.LCSubstring(v, tr.String(id))
+			found := false
+			for _, m := range got {
+				if m.ID == id {
+					found = true
+					break
+				}
+			}
+			if want >= 1 && !found {
+				t.Fatalf("string %q with LCS %d missing from TopL(%q)", tr.String(id), want, v)
+			}
+		}
+		// Ranking must be by LCS descending.
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].LCS != got[j].LCS {
+				return got[i].LCS > got[j].LCS
+			}
+			return got[i].ID < got[j].ID
+		}) {
+			t.Fatal("TopL not sorted")
+		}
+	}
+}
+
+func TestTopLMinLenFilters(t *testing.T) {
+	tr := New()
+	tr.Add("abcdef") // LCS with query = 6
+	tr.Add("xbzqzz") // LCS with query = 1 ("b")
+	got := tr.TopL("abcdef", 10, 3)
+	if len(got) != 1 || got[0].ID != 0 || got[0].LCS != 6 {
+		t.Errorf("TopL = %v", got)
+	}
+}
+
+func TestTopLLimit(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Add("common" + strings.Repeat("x", i+1))
+	}
+	got := tr.TopL("common", 3, 2)
+	if len(got) != 3 {
+		t.Errorf("TopL limit = %d results", len(got))
+	}
+	if got := tr.TopL("common", 0, 2); got != nil {
+		t.Errorf("TopL(l=0) = %v", got)
+	}
+}
+
+func TestTopLBlockingFindsEditNeighbors(t *testing.T) {
+	// Strings within edit distance K of the query must appear among the
+	// candidates when minLen is set from the blocking bound.
+	tr := New()
+	master := []string{"3256778", "3887644", "9284773", "EH8 9LE", "WC1H 9SE"}
+	for _, s := range master {
+		tr.Add(s)
+	}
+	query := "3887834" // edit distance 2 from 3887644
+	k := 2
+	minLen := len(query) / (k + 1)
+	got := tr.TopL(query, 3, minLen)
+	found := false
+	for _, m := range got {
+		if tr.String(m.ID) == "3887644" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("edit-neighbor not in candidates: %v", got)
+	}
+}
+
+func TestRepeatedCharacters(t *testing.T) {
+	tr := New()
+	tr.Add("aaaa")
+	tr.Add("aa")
+	if !tr.Contains("aaa") || tr.Contains("aaaaa") {
+		t.Error("repeated-char containment wrong")
+	}
+	ids := tr.StringsContaining("aa")
+	if !equalInts(ids, []int{0, 1}) {
+		t.Errorf("StringsContaining(aa) = %v", ids)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
