@@ -1,0 +1,163 @@
+// Command uniclean runs the unified data-cleaning pipeline of the paper
+// over CSV inputs: cRepair (confidence-based deterministic fixes) followed
+// by eRepair (entropy-based reliable fixes).
+//
+// Usage:
+//
+//	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv]
+//
+// The repaired relation is written as CSV to -out ("-" for stdout); the
+// cleaning report — fix counts, matcher statistics, conflicts and the
+// resolution status of every rule — goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/clean"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "uniclean:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uniclean", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataPath := fs.String("data", "", "data relation CSV (required)")
+	confPath := fs.String("conf", "", "per-cell confidence CSV, same shape as -data (optional)")
+	masterPath := fs.String("master", "", "master relation CSV (optional)")
+	rulesPath := fs.String("rules", "", "cleaning rules file (required)")
+	outPath := fs.String("out", "-", "repaired relation CSV output, '-' for stdout")
+	eta := fs.Float64("eta", 0.8, "confidence threshold for deterministic fixes")
+	topL := fs.Int("topl", 32, "blocking candidates per suffix-tree lookup")
+	defaultConf := fs.Float64("defaultconf", 0, "cell confidence assumed when -conf is not given")
+	verbose := fs.Bool("v", false, "list every fix in the report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *rulesPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-data and -rules are required")
+	}
+
+	data, err := readRelation(*dataPath)
+	if err != nil {
+		return err
+	}
+	if *confPath != "" {
+		f, err := os.Open(*confPath)
+		if err != nil {
+			return err
+		}
+		err = relation.ReadConfCSV(data, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		data.SetAllConf(*defaultConf)
+	}
+
+	var master *relation.Relation
+	var masterSchema *relation.Schema
+	if *masterPath != "" {
+		if master, err = readRelation(*masterPath); err != nil {
+			return err
+		}
+		master.SetAllConf(1) // master data is clean by assumption
+		masterSchema = master.Schema
+	}
+
+	text, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		return err
+	}
+	cfds, mds, err := rule.ParseRules(data.Schema, masterSchema, string(text))
+	if err != nil {
+		return fmt.Errorf("%s: %w", *rulesPath, err)
+	}
+	rules := rule.Derive(cfds, mds)
+	if len(rules) == 0 {
+		return fmt.Errorf("%s: no rules", *rulesPath)
+	}
+
+	res := clean.Run(data, master, rules, clean.Options{Eta: *eta, TopL: *topL})
+
+	out := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := res.Data.WriteCSV(out); err != nil {
+		return err
+	}
+	report(stderr, data, master, rules, res, *verbose)
+	return nil
+}
+
+func readRelation(path string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return relation.ReadCSV(name, f)
+}
+
+func report(w io.Writer, data, master *relation.Relation, rules []rule.Rule, res *clean.Result, verbose bool) {
+	masterLen := 0
+	if master != nil {
+		masterLen = master.Len()
+	}
+	det := res.DeterministicFixes()
+	fmt.Fprintf(w, "uniclean: %d rules over %d tuples (master: %d tuples)\n",
+		len(rules), data.Len(), masterLen)
+	fmt.Fprintf(w, "cRepair: %d rounds, %d deterministic fixes, %d cells asserted\n",
+		res.Rounds, len(det), res.Asserts)
+	fmt.Fprintf(w, "eRepair: %d groups resolved, %d reliable fixes\n",
+		res.GroupsResolved, len(res.Fixes)-len(det))
+	names := make([]string, 0, len(res.Match))
+	for name := range res.Match {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := res.Match[name]
+		fmt.Fprintf(w, "match %s: %d lookups, %d candidates (%d verified, %d full scans) over |Dm|=%d\n",
+			name, st.Lookups, st.Candidates, st.Verified, st.FullScans, st.MasterSize)
+	}
+	if verbose {
+		for _, f := range res.Fixes {
+			fmt.Fprintf(w, "fix %s\n", f)
+		}
+	}
+	for _, c := range res.Conflicts {
+		fmt.Fprintf(w, "conflict: %s\n", c)
+	}
+	fmt.Fprintf(w, "resolved: %s\n", orDash(res.Resolved))
+	fmt.Fprintf(w, "unresolved: %s\n", orDash(res.Unresolved))
+}
+
+func orDash(names []string) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const exampleDir = "../../examples/transactions"
+
+// TestRunExample drives the CLI end-to-end on the bundled example dataset
+// and checks the repaired CSV and the report.
+func TestRunExample(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "repaired.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-conf", filepath.Join(exampleDir, "conf.csv"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+		"-out", outPath,
+		"-v",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `FN,LN,St,city,AC,post,phn
+Robert,Brady,501 Elm Row,Edi,131,EH7 4AH,3887644
+Robert,Brady,501 Elm Row,Edi,131,EH7 4AH,3887644
+Robert,Brady,501 Elm Row,Edi,131,EH7 4AH,3887644
+Mary,Smith,20 Baker St,Ldn,020,NW1 6XE,7654321
+Robert,Brady,501 Elm Row,Edi,131,EH7 4AH,3887644
+`
+	if got := strings.ReplaceAll(string(out), "\r\n", "\n"); got != want {
+		t.Errorf("repaired CSV:\n%s\nwant:\n%s", got, want)
+	}
+	report := stderr.String()
+	if !strings.Contains(report, "unresolved: -") {
+		t.Errorf("report leaves rules unresolved:\n%s", report)
+	}
+	if !strings.Contains(report, "match md1.1:") || strings.Contains(report, "full scans) over |Dm|=0") {
+		t.Errorf("report missing matcher statistics:\n%s", report)
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("run without -data/-rules should fail")
+	}
+}
+
+func TestRunStdoutOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-defaultconf", "0.9",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "FN,LN,St,city,AC,post,phn\n") {
+		t.Errorf("stdout is not the repaired CSV:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,215 @@
+// Package clean implements the unified data-cleaning engine of Sections 5
+// and 6 of the paper: cRepair, the confidence-based phase that applies the
+// ordered cleaning rules to a fixpoint and produces deterministic fixes, and
+// eRepair, the entropy-based phase that resolves the remaining variable-CFD
+// conflicts in order of increasing entropy and produces reliable fixes.
+//
+// The engine never mutates its inputs: it clones the data relation, applies
+// fixes to the clone, and reports every cell it wrote together with the rule
+// that wrote it. Cells fixed by cRepair carry confidence at least η and are
+// immutable for the rest of the process (Section 5.1); eRepair only touches
+// mutable cells (Section 6.1). MD matching goes through blocking indexes —
+// per-attribute hash indexes on equality clauses and a generalized suffix
+// tree for edit-distance clauses (Section 5.2) — so it is not O(|D|·|Dm|).
+package clean
+
+import (
+	"fmt"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// Options configures the cleaning pipeline.
+type Options struct {
+	// Eta is the confidence threshold η of Section 5: cRepair only applies
+	// fixes whose propagated confidence reaches Eta, and cells at or above
+	// Eta written by cRepair become immutable.
+	Eta float64
+	// TopL bounds the number of blocking candidates returned per
+	// suffix-tree lookup during MD matching (the constant l of Section 5.2).
+	TopL int
+	// MaxRounds bounds the cRepair fixpoint iteration; 0 means no bound.
+	// Termination is guaranteed regardless, because every applied fix or
+	// assertion freezes a previously mutable cell.
+	MaxRounds int
+}
+
+// DefaultOptions returns the thresholds used in the paper's experiments.
+func DefaultOptions() Options { return Options{Eta: 0.8, TopL: 32} }
+
+// Fix records one cell write performed by the engine.
+type Fix struct {
+	Tuple     int     // tuple index in the data relation
+	Attr      int     // attribute position
+	Attribute string  // attribute name, for reports
+	Old, New  string  // value before and after
+	Conf      float64 // confidence attached to the new value
+	Mark      relation.FixMark
+	Rule      string // name of the rule that produced the fix
+}
+
+func (f Fix) String() string {
+	return fmt.Sprintf("t%d[%s]: %q -> %q (conf %.2f, %s, %s)",
+		f.Tuple, f.Attribute, f.Old, f.New, f.Conf, f.Mark, f.Rule)
+}
+
+// MatchStats counts the work done by one MD's blocking matcher, so that
+// tests and reports can verify matching does not degenerate to a full scan.
+type MatchStats struct {
+	Lookups    int // candidate queries issued (one per tuple per round)
+	Candidates int // master tuples examined across all lookups
+	Verified   int // candidates on which the full premise held
+	FullScans  int // lookups that had no usable index and scanned Dm
+	MasterSize int // |Dm|
+}
+
+// Result is the outcome of a cleaning run.
+type Result struct {
+	// Data is the repaired relation (a clone of the input).
+	Data *relation.Relation
+	// Fixes lists every cell whose value changed, in application order.
+	Fixes []Fix
+	// Asserts counts cells whose value was confirmed (not changed) by a
+	// deterministic rule and thereby frozen with confidence >= Eta.
+	Asserts int
+	// Conflicts describes fixes the engine refused to apply because they
+	// would overwrite an immutable cell or because high-confidence
+	// evidence disagreed.
+	Conflicts []string
+	// Rounds is the number of cRepair fixpoint passes executed.
+	Rounds int
+	// GroupsResolved counts the variable-CFD groups resolved by eRepair.
+	GroupsResolved int
+	// Match maps MD rule names to their blocking statistics.
+	Match map[string]*MatchStats
+	// Resolved and Unresolved partition the rule names by whether the
+	// repaired data satisfies the underlying dependency.
+	Resolved, Unresolved []string
+}
+
+// DeterministicFixes returns the subset of Fixes produced by cRepair.
+func (r *Result) DeterministicFixes() []Fix {
+	var out []Fix
+	for _, f := range r.Fixes {
+		if f.Mark == relation.FixDeterministic {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Engine runs the cleaning pipeline over a cloned data relation.
+type Engine struct {
+	data     *relation.Relation
+	master   *relation.Relation
+	rules    []rule.Rule
+	opts     Options
+	matchers []*matcher // parallel to rules; nil for CFD rules
+	res      *Result
+	seen     map[string]bool // conflicts already recorded
+}
+
+// New prepares an engine: it clones data, orders the rules per Section 6.2,
+// and builds the MD blocking indexes over master. master may be nil when the
+// rule set contains no MDs.
+func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engine {
+	e := &Engine{
+		data:   data.Clone(),
+		master: master,
+		rules:  rule.Order(rules),
+		opts:   opts,
+		res:    &Result{Match: make(map[string]*MatchStats)},
+		seen:   make(map[string]bool),
+	}
+	e.matchers = make([]*matcher, len(e.rules))
+	for i, r := range e.rules {
+		if r.Kind == rule.MatchMD && master != nil {
+			e.matchers[i] = newMatcher(r.MD, master)
+			e.res.Match[r.Name()] = &e.matchers[i].stats
+		}
+	}
+	return e
+}
+
+// Run executes the full pipeline on a fresh engine and returns the result.
+func Run(data, master *relation.Relation, rules []rule.Rule, opts Options) *Result {
+	e := New(data, master, rules, opts)
+	e.CRepair()
+	e.ERepair()
+	return e.Finish()
+}
+
+// Finish verifies which dependencies the repaired relation satisfies and
+// returns the accumulated result.
+func (e *Engine) Finish() *Result {
+	e.res.Data = e.data
+	for _, r := range e.rules {
+		ok := false
+		switch r.Kind {
+		case rule.MatchMD:
+			ok = e.master == nil || md.Satisfies(e.data, e.master, r.MD)
+		default:
+			ok = cfd.Satisfies(e.data, r.CFD)
+		}
+		if ok {
+			e.res.Resolved = append(e.res.Resolved, r.Name())
+		} else {
+			e.res.Unresolved = append(e.res.Unresolved, r.Name())
+		}
+	}
+	return e.res
+}
+
+// conflictf records a conflict once: cRepair rule appliers rescan the whole
+// relation every fixpoint round, so an unresolvable conflict would otherwise
+// be re-recorded each round.
+func (e *Engine) conflictf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if e.seen[msg] {
+		return
+	}
+	e.seen[msg] = true
+	e.res.Conflicts = append(e.res.Conflicts, msg)
+}
+
+// minConfAt returns the fuzzy minimum of t's confidences at attrs.
+func minConfAt(t *relation.Tuple, attrs []int) float64 {
+	confs := make([]float64, len(attrs))
+	for i, a := range attrs {
+		confs[i] = t.Conf[a]
+	}
+	return rule.MinConf(confs)
+}
+
+// assert freezes cell (i, a): the cell keeps its value, its confidence is
+// raised to at least conf, and it is marked as a deterministic fix. It
+// reports whether anything changed (already-frozen cells are left alone).
+func (e *Engine) assert(i, a int, conf float64) int {
+	t := e.data.Tuples[i]
+	if t.Marks[a] == relation.FixDeterministic {
+		return 0
+	}
+	if conf > t.Conf[a] {
+		t.Conf[a] = conf
+	}
+	t.Marks[a] = relation.FixDeterministic
+	e.res.Asserts++
+	return 1
+}
+
+// fix writes value v to cell (i, a) as a deterministic fix with confidence
+// conf, recording it in the result. The caller must have checked that the
+// cell is mutable and that v differs from the current value.
+func (e *Engine) fix(i, a int, v string, conf float64, ruleName string) int {
+	t := e.data.Tuples[i]
+	e.res.Fixes = append(e.res.Fixes, Fix{
+		Tuple: i, Attr: a, Attribute: e.data.Schema.Attrs[a],
+		Old: t.Values[a], New: v, Conf: conf,
+		Mark: relation.FixDeterministic, Rule: ruleName,
+	})
+	t.Set(a, v, conf, relation.FixDeterministic)
+	return 1
+}

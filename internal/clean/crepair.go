@@ -1,0 +1,165 @@
+package clean
+
+import (
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// CRepair is the confidence-based phase of Section 5: it applies the ordered
+// cleaning rules repeatedly until no rule can make progress. Every fix it
+// applies has propagated confidence at least η, is marked FixDeterministic,
+// and freezes its cell for the rest of the pipeline. Because each applied
+// fix or assertion freezes a previously mutable cell, the fixpoint is
+// reached after at most |D|·arity productive passes.
+func (e *Engine) CRepair() {
+	for {
+		e.res.Rounds++
+		progress := 0
+		for i, r := range e.rules {
+			switch r.Kind {
+			case rule.ConstantCFD:
+				progress += e.applyConstantCFD(r)
+			case rule.VariableCFD:
+				progress += e.applyVariableCFD(r)
+			case rule.MatchMD:
+				progress += e.applyMatchMD(i, r)
+			}
+		}
+		if progress == 0 || (e.opts.MaxRounds > 0 && e.res.Rounds >= e.opts.MaxRounds) {
+			return
+		}
+	}
+}
+
+// applyConstantCFD writes the pattern constant tp[A] to every tuple matching
+// tp[X] whose premise cells are trusted (min confidence >= η), per
+// Section 3.1 rule (2).
+func (e *Engine) applyConstantCFD(r rule.Rule) int {
+	c := r.CFD
+	progress := 0
+	for i, t := range e.data.Tuples {
+		if !c.MatchLHS(t) {
+			continue
+		}
+		conf := minConfAt(t, c.LHS)
+		if conf < e.opts.Eta {
+			continue
+		}
+		switch {
+		case t.Values[c.RHS] == c.RHSPattern:
+			progress += e.assert(i, c.RHS, conf)
+		case t.Marks[c.RHS] == relation.FixDeterministic:
+			e.conflictf("%s: t%d[%s] is frozen at %q, cannot write %q",
+				c.Name, i, e.data.Schema.Attrs[c.RHS], t.Values[c.RHS], c.RHSPattern)
+		default:
+			progress += e.fix(i, c.RHS, c.RHSPattern, conf, c.Name)
+		}
+	}
+	return progress
+}
+
+// applyVariableCFD propagates high-confidence RHS values within LHS-equal
+// groups, per Section 3.1 rule (3): if the trusted cells of a group agree on
+// a value, every member whose premise is trusted is updated to it. Groups
+// whose trusted cells disagree are left for eRepair.
+func (e *Engine) applyVariableCFD(r rule.Rule) int {
+	c := r.CFD
+	progress := 0
+	groups := make(map[string][]int)
+	var order []string
+	for i, t := range e.data.Tuples {
+		if !c.MatchLHS(t) {
+			continue
+		}
+		k := t.Key(c.LHS)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		members := groups[k]
+		// Pick the highest-confidence non-null RHS value as the source.
+		bestConf, bestVal := -1.0, ""
+		for _, i := range members {
+			t := e.data.Tuples[i]
+			if v := t.Values[c.RHS]; !relation.IsNull(v) && t.Conf[c.RHS] > bestConf {
+				bestConf, bestVal = t.Conf[c.RHS], v
+			}
+		}
+		if bestConf < e.opts.Eta {
+			continue
+		}
+		// If another trusted cell disagrees, the group is ambiguous: no
+		// deterministic fix exists (eRepair will weigh the evidence).
+		ambiguous := false
+		for _, i := range members {
+			t := e.data.Tuples[i]
+			v := t.Values[c.RHS]
+			if !relation.IsNull(v) && v != bestVal && t.Conf[c.RHS] >= e.opts.Eta {
+				e.conflictf("%s: group %q has trusted values %q and %q", c.Name, k, bestVal, v)
+				ambiguous = true
+				break
+			}
+		}
+		if ambiguous {
+			continue
+		}
+		for _, i := range members {
+			t := e.data.Tuples[i]
+			pc := minConfAt(t, c.LHS)
+			if pc < e.opts.Eta {
+				continue
+			}
+			conf := pc
+			if bestConf < conf {
+				conf = bestConf
+			}
+			if t.Values[c.RHS] == bestVal {
+				progress += e.assert(i, c.RHS, conf)
+			} else if t.Marks[c.RHS] != relation.FixDeterministic {
+				progress += e.fix(i, c.RHS, bestVal, conf, c.Name)
+			}
+		}
+	}
+	return progress
+}
+
+// applyMatchMD copies master values into matched data tuples, per
+// Section 3.1 rule (1). Matching goes through the blocking indexes; the fix
+// confidence is the fuzzy minimum over the equality-premise cells of the
+// data tuple (similarity-tested cells contribute no confidence, and master
+// data is clean by assumption).
+func (e *Engine) applyMatchMD(idx int, r rule.Rule) int {
+	x := e.matchers[idx]
+	if x == nil {
+		return 0 // no master data: the MD is vacuous
+	}
+	m := r.MD
+	progress := 0
+	for i, t := range e.data.Tuples {
+		conf := minConfAt(t, x.eqDataAttrs)
+		if conf < e.opts.Eta {
+			continue
+		}
+		for _, j := range x.candidates(t, e.opts.TopL) {
+			s := e.master.Tuples[j]
+			for _, p := range m.RHS {
+				v := s.Values[p.MasterAttr]
+				if relation.IsNull(v) {
+					continue
+				}
+				switch {
+				case t.Values[p.DataAttr] == v:
+					progress += e.assert(i, p.DataAttr, conf)
+				case t.Marks[p.DataAttr] == relation.FixDeterministic:
+					e.conflictf("%s: t%d[%s] is frozen at %q, master tuple %d says %q",
+						m.Name, i, e.data.Schema.Attrs[p.DataAttr], t.Values[p.DataAttr], j, v)
+				default:
+					progress += e.fix(i, p.DataAttr, v, conf, m.Name)
+				}
+			}
+		}
+	}
+	return progress
+}

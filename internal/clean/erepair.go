@@ -1,0 +1,197 @@
+package clean
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/avl"
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// egroup is one LHS-equal group of a variable CFD: the equivalence class of
+// Section 6.1 whose RHS distribution entropy measures how certain the
+// correct value is.
+type egroup struct {
+	ci      int    // index into the engine's variable-CFD list
+	id      string // "<ci>|<LHS key>", the AVL tie-break key
+	members []int  // tuple indexes, in relation order
+	entropy float64
+}
+
+// ERepair is the entropy-based phase of Section 6: variable-CFD groups with
+// more than one RHS value are keyed by (entropy, id) in an AVL tree (the
+// "2-in-1" structure of Section 6.3), and the minimum-entropy group — the
+// one whose plurality value is most certain — is resolved first. Resolving a
+// group rewrites mutable cells, so the groups of every rule reading or
+// writing the changed attribute are re-grouped and re-keyed before the next
+// extraction. Fixes are marked FixReliable and carry the plurality fraction
+// as confidence; frozen cells are never overwritten.
+func (e *Engine) ERepair() {
+	var varCFDs []*cfd.CFD
+	for _, r := range e.rules {
+		if r.Kind == rule.VariableCFD {
+			varCFDs = append(varCFDs, r.CFD)
+		}
+	}
+	if len(varCFDs) == 0 {
+		return
+	}
+
+	var tree avl.Tree
+	groups := make(map[string]*egroup) // id -> group currently keyed in tree
+	done := make(map[string]bool)      // ids already resolved, never re-keyed
+
+	// rebuild re-groups one CFD from the current relation state, replacing
+	// any of its groups still keyed in the tree.
+	rebuild := func(ci int) {
+		prefix := strconv.Itoa(ci) + "|"
+		for id, g := range groups {
+			if strings.HasPrefix(id, prefix) {
+				tree.Delete(avl.Key{Entropy: g.entropy, ID: id})
+				delete(groups, id)
+			}
+		}
+		c := varCFDs[ci]
+		byKey := make(map[string]*egroup)
+		var order []string
+		for i, t := range e.data.Tuples {
+			if !c.MatchLHS(t) {
+				continue
+			}
+			k := t.Key(c.LHS)
+			g, ok := byKey[k]
+			if !ok {
+				g = &egroup{ci: ci, id: prefix + k}
+				byKey[k] = g
+				order = append(order, k)
+			}
+			g.members = append(g.members, i)
+		}
+		for _, k := range order {
+			g := byKey[k]
+			if done[g.id] {
+				continue
+			}
+			var distinct int
+			g.entropy, distinct = groupEntropy(e.data, c.RHS, g.members)
+			if distinct < 2 {
+				continue // already conflict-free
+			}
+			groups[g.id] = g
+			tree.Insert(avl.Key{Entropy: g.entropy, ID: g.id})
+		}
+	}
+
+	for ci := range varCFDs {
+		rebuild(ci)
+	}
+	for tree.Len() > 0 {
+		k, _ := tree.Min()
+		tree.Delete(k)
+		g := groups[k.ID]
+		delete(groups, k.ID)
+		done[g.id] = true
+		c := varCFDs[g.ci]
+		if !e.resolveGroup(c, g) {
+			continue
+		}
+		e.res.GroupsResolved++
+		for cj, c2 := range varCFDs {
+			if c2.RHS == c.RHS || hasAttr(c2.LHS, c.RHS) {
+				rebuild(cj)
+			}
+		}
+	}
+}
+
+// resolveGroup rewrites the group's mutable RHS cells to a single target
+// value and reports whether anything changed. A frozen (deterministically
+// fixed) cell dictates the target; otherwise the plurality value wins, with
+// ties broken by total confidence and then lexicographically, so resolution
+// is deterministic.
+func (e *Engine) resolveGroup(c *cfd.CFD, g *egroup) bool {
+	a := c.RHS
+	frozen := make(map[string]bool)
+	for _, i := range g.members {
+		t := e.data.Tuples[i]
+		if t.Marks[a] == relation.FixDeterministic {
+			frozen[t.Values[a]] = true
+		}
+	}
+	if len(frozen) > 1 {
+		e.conflictf("%s: group %s has conflicting frozen values, cannot resolve", c.Name, g.id)
+		return false
+	}
+	count := make(map[string]int)
+	confSum := make(map[string]float64)
+	for _, i := range g.members {
+		t := e.data.Tuples[i]
+		if v := t.Values[a]; !relation.IsNull(v) {
+			count[v]++
+			confSum[v] += t.Conf[a]
+		}
+	}
+	var target string
+	if len(frozen) == 1 {
+		for v := range frozen {
+			target = v
+		}
+	} else {
+		for v, n := range count {
+			switch m := count[target]; {
+			case target == "" || n > m,
+				n == m && confSum[v] > confSum[target],
+				n == m && confSum[v] == confSum[target] && v < target:
+				target = v
+			}
+		}
+		if target == "" {
+			return false // every cell is null: no evidence to propagate
+		}
+	}
+	conf := float64(count[target]) / float64(len(g.members))
+	changed := false
+	for _, i := range g.members {
+		t := e.data.Tuples[i]
+		if t.Values[a] == target || t.Marks[a] == relation.FixDeterministic {
+			continue
+		}
+		e.res.Fixes = append(e.res.Fixes, Fix{
+			Tuple: i, Attr: a, Attribute: e.data.Schema.Attrs[a],
+			Old: t.Values[a], New: target, Conf: conf,
+			Mark: relation.FixReliable, Rule: c.Name,
+		})
+		t.Set(a, target, conf, relation.FixReliable)
+		changed = true
+	}
+	return changed
+}
+
+// groupEntropy returns the Shannon entropy (base 2) of the RHS value
+// distribution over the group members, and the number of distinct values.
+// Null counts as a value: a group of one constant plus nulls is uncertain.
+func groupEntropy(d *relation.Relation, a int, members []int) (float64, int) {
+	count := make(map[string]int)
+	for _, i := range members {
+		count[d.Tuples[i].Values[a]]++
+	}
+	h := 0.0
+	n := float64(len(members))
+	for _, c := range count {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h, len(count)
+}
+
+func hasAttr(attrs []int, a int) bool {
+	for _, x := range attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}

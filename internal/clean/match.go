@@ -1,0 +1,113 @@
+package clean
+
+import (
+	"repro/internal/md"
+	"repro/internal/relation"
+	"repro/internal/suffixtree"
+)
+
+// matcher finds, for a data tuple, the master tuples on which an MD premise
+// holds, without scanning all of Dm (Section 5.2). Two blocking indexes are
+// built over the master relation:
+//
+//   - a hash index keyed on the projection of the master attributes of the
+//     equality clauses, when the MD has any;
+//   - otherwise, a generalized suffix tree over the active domain of the
+//     master attribute of the first edit-distance clause, queried with the
+//     LCS bound LCSubstring >= max(|a|,|b|)/(K+1).
+//
+// Candidates from either index are then verified against the full premise.
+// MDs with neither index (e.g. a single Jaro-Winkler clause) fall back to a
+// full scan, which the stats expose so callers can notice.
+type matcher struct {
+	m      *md.MD
+	master *relation.Relation
+
+	eqDataAttrs   []int // data attrs of equality clauses
+	eqMasterAttrs []int // master attrs of equality clauses
+	eqIndex       map[string][]int
+
+	simData   int // data attr of the blockable edit clause, -1 if none
+	simMaster int
+	simK      int
+	tree      *suffixtree.Tree
+	treeIDs   [][]int // suffix-tree string id -> master tuple indexes
+
+	stats MatchStats
+}
+
+func newMatcher(m *md.MD, master *relation.Relation) *matcher {
+	x := &matcher{m: m, master: master, simData: -1}
+	x.stats.MasterSize = master.Len()
+	for _, cl := range m.LHS {
+		if cl.Pred.Exact {
+			x.eqDataAttrs = append(x.eqDataAttrs, cl.DataAttr)
+			x.eqMasterAttrs = append(x.eqMasterAttrs, cl.MasterAttr)
+		} else if k, ok := cl.Pred.EditThreshold(); ok && x.simData < 0 {
+			x.simData, x.simMaster, x.simK = cl.DataAttr, cl.MasterAttr, k
+		}
+	}
+	switch {
+	case len(x.eqDataAttrs) > 0:
+		x.eqIndex = make(map[string][]int, master.Len())
+		for j, s := range master.Tuples {
+			key := s.Key(x.eqMasterAttrs)
+			x.eqIndex[key] = append(x.eqIndex[key], j)
+		}
+	case x.simData >= 0:
+		x.tree = suffixtree.New()
+		byValue := make(map[string]int)
+		for j, s := range master.Tuples {
+			v := s.Values[x.simMaster]
+			if relation.IsNull(v) {
+				continue
+			}
+			id, ok := byValue[v]
+			if !ok {
+				id = x.tree.Add(v)
+				byValue[v] = id
+				x.treeIDs = append(x.treeIDs, nil)
+			}
+			x.treeIDs[id] = append(x.treeIDs[id], j)
+		}
+	}
+	return x
+}
+
+// candidates returns the master tuple indexes on which the full MD premise
+// holds for t, going through the blocking indexes when available.
+func (x *matcher) candidates(t *relation.Tuple, topL int) []int {
+	x.stats.Lookups++
+	var ids []int
+	switch {
+	case x.eqIndex != nil:
+		ids = x.eqIndex[t.Key(x.eqDataAttrs)]
+	case x.tree != nil:
+		v := t.Values[x.simData]
+		if relation.IsNull(v) {
+			return nil
+		}
+		// Partition v into K+1 contiguous pieces: at most K edits touch at
+		// most K pieces, so edit(u, v) <= K implies u contains one piece
+		// unchanged — a common substring of length >= floor(|v|/(K+1)).
+		minLen := len(v) / (x.simK + 1)
+		for _, mt := range x.tree.TopL(v, topL, minLen) {
+			ids = append(ids, x.treeIDs[mt.ID]...)
+		}
+	default:
+		x.stats.FullScans++
+		ids = make([]int, x.master.Len())
+		for j := range ids {
+			ids[j] = j
+		}
+	}
+	x.stats.Candidates += len(ids)
+	var out []int
+	for _, j := range ids {
+		if x.m.MatchLHS(t, x.master.Tuples[j]) {
+			out = append(out, j)
+		}
+	}
+	x.stats.Verified += len(out)
+	return out
+}

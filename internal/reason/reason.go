@@ -106,7 +106,9 @@ func (p Problem) satisfied(d *relation.Relation) bool {
 		return false
 	}
 	if p.Master == nil {
-		return len(p.Gamma) == 0 || true // MDs are vacuous without master data
+		// MDs are vacuous without master data: no (t, s) pair exists, so
+		// every MD premise is unsatisfiable and Γ holds trivially.
+		return true
 	}
 	return md.SatisfiesAll(d, p.Master, p.Gamma)
 }

@@ -17,7 +17,17 @@ type Predicate struct {
 	// Match tests the predicate. Following the SQL-style semantics of
 	// Section 7, a null on either side never matches.
 	match func(a, b string) bool
+	// edit/editK record that the predicate is "edit distance <= editK",
+	// which admits the LCS blocking bound of Section 5.2.
+	edit  bool
+	editK int
 }
+
+// EditThreshold returns (k, true) when the predicate is "edit distance at
+// most k". Such predicates admit suffix-tree LCS blocking (Section 5.2):
+// edit(a, b) <= k implies LCSubstring(a, b) >= floor(|b|/(k+1)), since at
+// least one of b's k+1 contiguous pieces survives all k edits unchanged.
+func (p Predicate) EditThreshold() (int, bool) { return p.editK, p.edit }
 
 // Match reports whether the predicate holds on (a, b). Null never matches.
 func (p Predicate) Match(a, b string) bool {
@@ -40,6 +50,8 @@ func EditWithin(k int) Predicate {
 	return Predicate{
 		Name:  fmt.Sprintf("edit<=%d", k),
 		match: func(a, b string) bool { return Within(a, b, k) },
+		edit:  true,
+		editK: k,
 	}
 }
 

@@ -120,9 +120,6 @@ func NormalizedDistance(a, b string) float64 {
 // Jaro returns the Jaro similarity of a and b in [0,1].
 func Jaro(a, b string) float64 {
 	if a == b {
-		if len(a) == 0 {
-			return 1
-		}
 		return 1
 	}
 	if len(a) == 0 || len(b) == 0 {
