@@ -1,17 +1,24 @@
 // Command uniclean runs the unified data-cleaning pipeline of the paper
-// over CSV inputs: cRepair (confidence-based deterministic fixes) followed
-// by eRepair (entropy-based reliable fixes).
+// over CSV inputs: cRepair (confidence-based deterministic fixes), eRepair
+// (entropy-based reliable fixes) and hRepair (heuristic possible fixes).
 //
 // Usage:
 //
-//	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv]
+//	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv] [-certify]
 //
 // The repaired relation is written as CSV to -out ("-" for stdout); the
 // cleaning report — fix counts, matcher statistics, conflicts and the
-// resolution status of every rule — goes to stderr.
+// resolution status of every rule — goes to stderr. With -certify, the
+// Checker's full violation report is printed when the output is still
+// dirty.
+//
+// Exit status distinguishes failure modes: 0 when the output satisfies
+// every rule, 1 on usage, I/O or rule-parsing errors, and 2 when cleaning
+// completed but violations remain unresolved.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,11 +32,30 @@ import (
 	"repro/internal/rule"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "uniclean:", err)
-		os.Exit(1)
+// errDirty marks a run that completed but left rule violations in the
+// output. main maps it to exit status 2, distinct from I/O and usage errors
+// (status 1), so scripts can tell "the data could not be fully cleaned"
+// from "the tool could not run".
+var errDirty = errors.New("violations remain in the output")
+
+// exitCode maps a run error to the process exit status.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errDirty):
+		return 2
+	default:
+		return 1
 	}
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uniclean:", err)
+	}
+	os.Exit(exitCode(err))
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -42,7 +68,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	outPath := fs.String("out", "-", "repaired relation CSV output, '-' for stdout")
 	eta := fs.Float64("eta", 0.8, "confidence threshold for deterministic fixes")
 	topL := fs.Int("topl", 32, "blocking candidates per suffix-tree lookup")
+	hBudget := fs.Int("hbudget", clean.DefaultHBudget, "per-cell change budget of hRepair")
 	defaultConf := fs.Float64("defaultconf", 0, "cell confidence assumed when -conf is not given")
+	certify := fs.Bool("certify", false, "print the checker's violation report when the output is still dirty")
 	verbose := fs.Bool("v", false, "list every fix in the report")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s: no rules", *rulesPath)
 	}
 
-	res := clean.Run(data, master, rules, clean.Options{Eta: *eta, TopL: *topL})
+	res := clean.Run(data, master, rules, clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget})
 
 	out := stdout
 	if *outPath != "-" {
@@ -108,6 +136,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	report(stderr, data, master, rules, res, *verbose)
+	if !res.Report.Clean() {
+		if *certify {
+			fmt.Fprint(stderr, res.Report)
+		}
+		return fmt.Errorf("%d rules unresolved: %w", len(res.Unresolved), errDirty)
+	}
 	return nil
 }
 
@@ -126,13 +160,18 @@ func report(w io.Writer, data, master *relation.Relation, rules []rule.Rule, res
 	if master != nil {
 		masterLen = master.Len()
 	}
-	det := res.DeterministicFixes()
 	fmt.Fprintf(w, "uniclean: %d rules over %d tuples (master: %d tuples)\n",
 		len(rules), data.Len(), masterLen)
 	fmt.Fprintf(w, "cRepair: %d rounds, %d deterministic fixes, %d cells asserted\n",
-		res.Rounds, len(det), res.Asserts)
+		res.Rounds, len(res.DeterministicFixes()), res.Asserts)
 	fmt.Fprintf(w, "eRepair: %d groups resolved, %d reliable fixes\n",
-		res.GroupsResolved, len(res.Fixes)-len(det))
+		res.GroupsResolved, len(res.ReliableFixes()))
+	fmt.Fprintf(w, "hRepair: %d rounds, %d possible fixes\n",
+		res.HRounds, len(res.PossibleFixes()))
+	marks := res.Data.MarkCounts()
+	fmt.Fprintf(w, "cells: %d untouched, %d deterministic, %d reliable, %d possible\n",
+		marks[relation.FixNone], marks[relation.FixDeterministic],
+		marks[relation.FixReliable], marks[relation.FixPossible])
 	names := make([]string, 0, len(res.Match))
 	for name := range res.Match {
 		names = append(names, name)

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-const exampleDir = "../../examples/transactions"
+const (
+	exampleDir = "../../examples/transactions"
+	lowconfDir = "../../examples/lowconf"
+)
 
 // TestRunExample drives the CLI end-to-end on the bundled example dataset
 // and checks the repaired CSV and the report.
@@ -46,6 +50,95 @@ Robert,Brady,501 Elm Row,Edi,131,EH7 4AH,3887644
 	}
 	if !strings.Contains(report, "match md1.1:") || strings.Contains(report, "full scans) over |Dm|=0") {
 		t.Errorf("report missing matcher statistics:\n%s", report)
+	}
+}
+
+// TestRunCertifyExample: the full tri-level pipeline leaves the bundled
+// example certified clean, so -certify succeeds (exit status 0).
+func TestRunCertifyExample(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-conf", filepath.Join(exampleDir, "conf.csv"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+		"-certify",
+		"-out", filepath.Join(t.TempDir(), "repaired.csv"),
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("certify on the clean example failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if got := exitCode(err); got != 0 {
+		t.Errorf("exitCode = %d, want 0", got)
+	}
+}
+
+// TestRunLowconfExample drives the hRepair showcase: with every confidence
+// below eta, the city repair must come from hRepair as a possible fix, and
+// the output must still certify clean.
+func TestRunLowconfExample(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", filepath.Join(lowconfDir, "data.csv"),
+		"-rules", filepath.Join(lowconfDir, "rules.txt"),
+		"-defaultconf", "0.5",
+		"-certify",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	report := stderr.String()
+	if !strings.Contains(report, "1 possible fixes") {
+		t.Errorf("report missing the hRepair possible fix:\n%s", report)
+	}
+	if !strings.Contains(report, "unresolved: -") {
+		t.Errorf("lowconf example not fully resolved:\n%s", report)
+	}
+	if !strings.Contains(stdout.String(), "131,Edi,EH7 4AH,501 Elm Row") {
+		t.Errorf("repaired CSV missing the hRepair city fix:\n%s", stdout.String())
+	}
+}
+
+// TestExitStatusDirtyVsIO: a run that completes but leaves violations must
+// be distinguishable (exit 2) from a run that cannot start (exit 1). With
+// all confidences at zero, the MD premise never reaches eta, so the MD
+// rules stay unresolved while hRepair still clears every CFD.
+func TestExitStatusDirtyVsIO(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+		"-defaultconf", "0",
+		"-certify",
+		"-out", filepath.Join(t.TempDir(), "repaired.csv"),
+	}, &stdout, &stderr)
+	if !errors.Is(err, errDirty) {
+		t.Fatalf("dirty run error = %v, want errDirty", err)
+	}
+	if got := exitCode(err); got != 2 {
+		t.Errorf("dirty exitCode = %d, want 2", got)
+	}
+	report := stderr.String()
+	if !strings.Contains(report, "MD violations") || !strings.Contains(report, "violation: md") {
+		t.Errorf("-certify did not print the violation report:\n%s", report)
+	}
+	if strings.Contains(report, "CFD violations") && !strings.Contains(report, "0 CFD violations") {
+		t.Errorf("hRepair left CFD violations:\n%s", report)
+	}
+
+	err = run([]string{
+		"-data", filepath.Join(exampleDir, "no-such-file.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+	}, &stdout, &stderr)
+	if err == nil || errors.Is(err, errDirty) {
+		t.Fatalf("I/O error = %v, must be non-nil and distinct from errDirty", err)
+	}
+	if got := exitCode(err); got != 1 {
+		t.Errorf("I/O exitCode = %d, want 1", got)
+	}
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", got)
 	}
 }
 

@@ -58,3 +58,40 @@ func BenchmarkCRepair(b *testing.B) {
 		e.CRepair()
 	}
 }
+
+// BenchmarkERepair measures the entropy-based phase alone on a workload
+// whose confidences sit below eta, so cRepair is inert and every
+// variable-CFD conflict reaches the AVL-keyed group resolution.
+func BenchmarkERepair(b *testing.B) {
+	data, master, rules := benchInput(b, 2000, 500)
+	data.SetAllConf(0.5)
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := New(data, master, rules, opts)
+		e.CRepair()
+		b.StartTimer()
+		e.ERepair()
+	}
+}
+
+// BenchmarkHRepair measures the heuristic phase alone on the same
+// below-eta workload: the constant-CFD violations survive cRepair and
+// eRepair, so hRepair's violation fixpoint does all the city repairs.
+func BenchmarkHRepair(b *testing.B) {
+	data, master, rules := benchInput(b, 2000, 500)
+	data.SetAllConf(0.5)
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := New(data, master, rules, opts)
+		e.CRepair()
+		e.ERepair()
+		b.StartTimer()
+		e.HRepair()
+	}
+}

@@ -1,0 +1,198 @@
+package clean
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// Violation is one certified rule violation in a cleaned relation.
+type Violation struct {
+	// Rule is the name of the violated dependency.
+	Rule string
+	// Kind classifies the underlying dependency.
+	Kind rule.Kind
+	// Attribute is the data-relation attribute the violation is about (the
+	// CFD's RHS attribute, or the MD conclusion's data attribute).
+	Attribute string
+	// Tuples lists the involved data tuple indexes (one for constant CFDs
+	// and MDs, two for variable CFDs).
+	Tuples []int
+	// Master is the master tuple index for MD violations, -1 otherwise.
+	Master int
+	// Detail is a human-readable description of the violation.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Detail }
+
+// maxStoredPerRule bounds how many violations of one rule a Report
+// materializes. The per-rule and per-kind counts stay exact regardless —
+// only the Violation structs beyond the cap are dropped (and tallied in
+// Truncated) — so Clean, RuleClean and the summary are unaffected while a
+// pathologically dirty instance (up to |D|·|Dm| violating MD pairs) cannot
+// exhaust memory building its report.
+const maxStoredPerRule = 100
+
+// Report is the structured outcome of a Checker pass.
+type Report struct {
+	// Violations lists remaining violations, grouped by rule in rule order,
+	// capped at maxStoredPerRule per rule; Truncated counts the rest.
+	Violations []Violation
+	// Truncated is the number of violations counted but not materialized
+	// because their rule exceeded maxStoredPerRule.
+	Truncated int
+
+	byRule    map[string]int // exact violations per rule name
+	cfds, mds int            // exact counts by dependency kind
+}
+
+// Clean reports whether the relation satisfies every checked rule.
+func (r *Report) Clean() bool { return r.cfds == 0 && r.mds == 0 }
+
+// NumCFD and NumMD return the exact violation counts by dependency kind,
+// including any violations dropped by the per-rule cap.
+func (r *Report) NumCFD() int { return r.cfds }
+func (r *Report) NumMD() int  { return r.mds }
+
+// CFDViolations returns the materialized subset of violations of CFD rules.
+func (r *Report) CFDViolations() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Kind != rule.MatchMD {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MDViolations returns the materialized subset of violations of MD rules.
+func (r *Report) MDViolations() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Kind == rule.MatchMD {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RuleClean reports whether the named rule has no violations.
+func (r *Report) RuleClean(name string) bool { return r.byRule[name] == 0 }
+
+// String renders the report, one violation per line, with a summary header.
+func (r *Report) String() string {
+	if r.Clean() {
+		return "certified clean: no violations\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dirty: %d CFD violations, %d MD violations\n", r.cfds, r.mds)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "violation: %s\n", v.Detail)
+	}
+	if r.Truncated > 0 {
+		fmt.Fprintf(&b, "... and %d more violations not shown\n", r.Truncated)
+	}
+	return b.String()
+}
+
+// Checker certifies the output of the cleaning pipeline: it re-derives,
+// from the repaired relation alone, which rules still have violations and
+// returns them as a structured Report. The engine's Finish uses it as the
+// termination proof behind Result.Resolved/Unresolved, cmd/uniclean's
+// -certify flag prints it, and the test suite uses it as the oracle for
+// randomized instances.
+type Checker struct {
+	rules  []rule.Rule
+	master *relation.Relation
+}
+
+// NewChecker builds a checker over the given rules. master may be nil, in
+// which case MD rules are vacuously satisfied (there is nothing to match
+// against), mirroring the engine's behavior.
+func NewChecker(rules []rule.Rule, master *relation.Relation) *Checker {
+	return &Checker{rules: rules, master: master}
+}
+
+// Check certifies d against every rule and returns the violation report.
+// It never mutates d.
+func (c *Checker) Check(d *relation.Relation) *Report {
+	rep := &Report{byRule: make(map[string]int)}
+	for _, r := range c.rules {
+		name := r.Name()
+		switch r.Kind {
+		case rule.MatchMD:
+			if c.master == nil {
+				continue
+			}
+			// Streamed rather than materialized: md.Violations would build
+			// the worst-case O(|D|·|Dm|) pair slice before the per-rule cap
+			// could drop anything.
+			md.VisitViolations(d, c.master, r.MD, func(v md.Violation) bool {
+				if rep.byRule[name] >= maxStoredPerRule {
+					// Beyond the cap: tally without formatting the detail.
+					rep.count(name, r.Kind)
+					rep.Truncated++
+					return true
+				}
+				// A violating (t, s) pair disagrees on at least one
+				// conclusion pair; report the first one that does, so the
+				// report stays right even for MDs that were not normalized
+				// to a single-pair conclusion.
+				p := r.MD.RHS[0]
+				for _, q := range r.MD.RHS {
+					if d.Tuples[v.T].Values[q.DataAttr] != c.master.Tuples[v.S].Values[q.MasterAttr] {
+						p = q
+						break
+					}
+				}
+				attr := d.Schema.Attrs[p.DataAttr]
+				rep.add(Violation{
+					Rule: name, Kind: r.Kind, Attribute: attr,
+					Tuples: []int{v.T}, Master: v.S,
+					Detail: fmt.Sprintf("%s: t%d[%s] = %q, matched master tuple %d says %q",
+						name, v.T, attr, d.Tuples[v.T].Values[p.DataAttr],
+						v.S, c.master.Tuples[v.S].Values[p.MasterAttr]),
+				})
+				return true
+			})
+		default:
+			for _, v := range cfd.Violations(d, r.CFD) {
+				tuples := []int{v.T1}
+				if v.T2 >= 0 {
+					tuples = append(tuples, v.T2)
+				}
+				rep.add(Violation{
+					Rule: name, Kind: r.Kind,
+					Attribute: d.Schema.Attrs[v.Attr],
+					Tuples:    tuples, Master: -1,
+					Detail: v.String(),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+func (r *Report) add(v Violation) {
+	r.count(v.Rule, v.Kind)
+	if r.byRule[v.Rule] > maxStoredPerRule {
+		r.Truncated++
+		return
+	}
+	r.Violations = append(r.Violations, v)
+}
+
+// count tallies a violation without materializing it.
+func (r *Report) count(ruleName string, kind rule.Kind) {
+	r.byRule[ruleName]++
+	if kind == rule.MatchMD {
+		r.mds++
+	} else {
+		r.cfds++
+	}
+}

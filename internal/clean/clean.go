@@ -1,8 +1,11 @@
 // Package clean implements the unified data-cleaning engine of Sections 5
 // and 6 of the paper: cRepair, the confidence-based phase that applies the
-// ordered cleaning rules to a fixpoint and produces deterministic fixes, and
+// ordered cleaning rules to a fixpoint and produces deterministic fixes;
 // eRepair, the entropy-based phase that resolves the remaining variable-CFD
-// conflicts in order of increasing entropy and produces reliable fixes.
+// conflicts in order of increasing entropy and produces reliable fixes; and
+// hRepair, the heuristic phase that repairs whatever CFD violations survive
+// both and produces possible fixes, so the pipeline terminates in a
+// consistent instance. A Checker pass certifies the outcome.
 //
 // The engine never mutates its inputs: it clones the data relation, applies
 // fixes to the clone, and reports every cell it wrote together with the rule
@@ -15,12 +18,20 @@ package clean
 
 import (
 	"fmt"
+	"math"
 
-	"repro/internal/cfd"
-	"repro/internal/md"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
+
+// confEps is the resolution at which summed cell confidences are compared:
+// quantizing through it absorbs floating-point dust (0.1+0.2 ties with 0.3)
+// while remaining a total order, so tie-breaks that the docs promise for
+// "equal" confidence actually fire and resolution stays deterministic.
+const confEps = 1e-9
+
+// quantConf quantizes a summed confidence for tie-break comparisons.
+func quantConf(x float64) int64 { return int64(math.Round(x / confEps)) }
 
 // Options configures the cleaning pipeline.
 type Options struct {
@@ -35,6 +46,11 @@ type Options struct {
 	// Termination is guaranteed regardless, because every applied fix or
 	// assertion freezes a previously mutable cell.
 	MaxRounds int
+	// HBudget is the per-cell change budget of hRepair: how many times the
+	// heuristic phase may rewrite one cell before falling back to
+	// retraction, which prevents oscillation between interacting rules.
+	// 0 means DefaultHBudget.
+	HBudget int
 }
 
 // DefaultOptions returns the thresholds used in the paper's experiments.
@@ -81,24 +97,46 @@ type Result struct {
 	Conflicts []string
 	// Rounds is the number of cRepair fixpoint passes executed.
 	Rounds int
+	// HRounds is the number of hRepair fixpoint passes executed.
+	HRounds int
 	// GroupsResolved counts the variable-CFD groups resolved by eRepair.
 	GroupsResolved int
 	// Match maps MD rule names to their blocking statistics.
 	Match map[string]*MatchStats
 	// Resolved and Unresolved partition the rule names by whether the
-	// repaired data satisfies the underlying dependency.
+	// repaired data satisfies the underlying dependency, as certified by
+	// Report.
 	Resolved, Unresolved []string
+	// Report is the Checker's certification of Data against the rule set:
+	// the structured violations behind Resolved/Unresolved.
+	Report *Report
 }
 
-// DeterministicFixes returns the subset of Fixes produced by cRepair.
-func (r *Result) DeterministicFixes() []Fix {
+// FixesMarked returns the subset of Fixes carrying the given mark, i.e. the
+// fixes of one pipeline phase.
+func (r *Result) FixesMarked(m relation.FixMark) []Fix {
 	var out []Fix
 	for _, f := range r.Fixes {
-		if f.Mark == relation.FixDeterministic {
+		if f.Mark == m {
 			out = append(out, f)
 		}
 	}
 	return out
+}
+
+// DeterministicFixes returns the subset of Fixes produced by cRepair.
+func (r *Result) DeterministicFixes() []Fix {
+	return r.FixesMarked(relation.FixDeterministic)
+}
+
+// ReliableFixes returns the subset of Fixes produced by eRepair.
+func (r *Result) ReliableFixes() []Fix {
+	return r.FixesMarked(relation.FixReliable)
+}
+
+// PossibleFixes returns the subset of Fixes produced by hRepair.
+func (r *Result) PossibleFixes() []Fix {
+	return r.FixesMarked(relation.FixPossible)
 }
 
 // Engine runs the cleaning pipeline over a cloned data relation.
@@ -110,6 +148,7 @@ type Engine struct {
 	matchers []*matcher // parallel to rules; nil for CFD rules
 	res      *Result
 	seen     map[string]bool // conflicts already recorded
+	hleft    map[[2]int]int  // hRepair's per-cell budget, shared across passes
 }
 
 // New prepares an engine: it clones data, orders the rules per Section 6.2,
@@ -134,27 +173,43 @@ func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engi
 	return e
 }
 
-// Run executes the full pipeline on a fresh engine and returns the result.
+// Run executes the full tri-level pipeline — cRepair (deterministic fixes),
+// eRepair (reliable fixes), hRepair (possible fixes) — to an outer fixpoint
+// and returns the certified result.
+//
+// The phases loop because they feed each other: an eRepair or hRepair write
+// carries a derived confidence that can reach Eta and thereby enable a
+// deterministic rule (an MD premise, say) that could not fire before, so a
+// single pass would certify as dirty data the engine itself can clean on a
+// second invocation. Every pass ends with HRepair, so the heuristic phase's
+// CFD-consistency guarantee holds for the final instance. hRepair's
+// per-cell change budget is shared across passes, and the pass count is
+// hard-capped by the cell count as a backstop against write cycles through
+// interacting rules.
 func Run(data, master *relation.Relation, rules []rule.Rule, opts Options) *Result {
 	e := New(data, master, rules, opts)
-	e.CRepair()
-	e.ERepair()
+	maxPasses := 1 + data.Len()*data.Schema.Arity()
+	for pass := 0; pass < maxPasses; pass++ {
+		before := len(e.res.Fixes) + e.res.Asserts
+		e.CRepair()
+		e.ERepair()
+		e.HRepair()
+		if len(e.res.Fixes)+e.res.Asserts == before {
+			break
+		}
+	}
 	return e.Finish()
 }
 
-// Finish verifies which dependencies the repaired relation satisfies and
+// Finish certifies the repaired relation with a Checker pass — the
+// termination proof of the pipeline: every rule is re-verified from the data
+// alone, independently of what the repair phases claim to have fixed — and
 // returns the accumulated result.
 func (e *Engine) Finish() *Result {
 	e.res.Data = e.data
+	e.res.Report = NewChecker(e.rules, e.master).Check(e.data)
 	for _, r := range e.rules {
-		ok := false
-		switch r.Kind {
-		case rule.MatchMD:
-			ok = e.master == nil || md.Satisfies(e.data, e.master, r.MD)
-		default:
-			ok = cfd.Satisfies(e.data, r.CFD)
-		}
-		if ok {
+		if e.res.Report.RuleClean(r.Name()) {
 			e.res.Resolved = append(e.res.Resolved, r.Name())
 		} else {
 			e.res.Unresolved = append(e.res.Unresolved, r.Name())

@@ -377,3 +377,50 @@ func TestConfidencePropagation(t *testing.T) {
 		t.Fatalf("fixes = %v, want one fix with conf 0.85", det)
 	}
 }
+
+// TestRunOuterFixpoint pins the outer loop of Run: an eRepair write whose
+// plurality confidence reaches eta enables an MD premise no rule could use
+// in the first pass, so only a second cRepair pass can apply the master
+// value. A single-pass pipeline certifies this instance dirty even though
+// the engine itself can clean it on a re-run.
+func TestRunOuterFixpoint(t *testing.T) {
+	dschema := relation.NewSchema("R", "K", "A", "B")
+	mschema := relation.NewSchema("M", "A", "B")
+
+	data := relation.New(dschema)
+	for i := 0; i < 4; i++ {
+		data.Append("k", "a0", "b0")
+	}
+	data.Append("k", "ax", "bx")
+	data.SetAllConf(0.5)
+
+	master := relation.New(mschema)
+	master.Append("a0", "b0")
+	master.SetAllConf(1)
+
+	cfds, mds, err := rule.ParseRules(dschema, mschema, `
+cfd K -> A
+md A=A -> B=B
+`)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	res := Run(data, master, rule.Derive(cfds, mds), DefaultOptions())
+
+	// eRepair equalizes A on "a0" with plurality confidence 4/5 = 0.8 = eta;
+	// the next pass's cRepair matches t4 against master through that cell
+	// and repairs B deterministically.
+	got := res.Data.Tuples[4]
+	if got.Values[2] != "b0" {
+		t.Errorf("t4[B] = %q, want %q via the second cRepair pass", got.Values[2], "b0")
+	}
+	if got.Marks[2] != relation.FixDeterministic {
+		t.Errorf("t4[B] mark = %v, want deterministic", got.Marks[2])
+	}
+	if len(res.Unresolved) != 0 {
+		t.Errorf("unresolved = %v, want none", res.Unresolved)
+	}
+	if !res.Report.Clean() {
+		t.Errorf("report not certified clean:\n%s", res.Report)
+	}
+}

@@ -1,6 +1,7 @@
 package clean
 
 import (
+	"repro/internal/cfd"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -65,20 +66,8 @@ func (e *Engine) applyConstantCFD(r rule.Rule) int {
 func (e *Engine) applyVariableCFD(r rule.Rule) int {
 	c := r.CFD
 	progress := 0
-	groups := make(map[string][]int)
-	var order []string
-	for i, t := range e.data.Tuples {
-		if !c.MatchLHS(t) {
-			continue
-		}
-		k := t.Key(c.LHS)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], i)
-	}
-	for _, k := range order {
-		members := groups[k]
+	for _, g := range cfd.Groups(e.data, c) {
+		members := g.Members
 		// Pick the highest-confidence non-null RHS value as the source.
 		bestConf, bestVal := -1.0, ""
 		for _, i := range members {
@@ -97,7 +86,7 @@ func (e *Engine) applyVariableCFD(r rule.Rule) int {
 			t := e.data.Tuples[i]
 			v := t.Values[c.RHS]
 			if !relation.IsNull(v) && v != bestVal && t.Conf[c.RHS] >= e.opts.Eta {
-				e.conflictf("%s: group %q has trusted values %q and %q", c.Name, k, bestVal, v)
+				e.conflictf("%s: group %q has trusted values %q and %q", c.Name, g.Key, bestVal, v)
 				ambiguous = true
 				break
 			}

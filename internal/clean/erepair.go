@@ -55,23 +55,8 @@ func (e *Engine) ERepair() {
 			}
 		}
 		c := varCFDs[ci]
-		byKey := make(map[string]*egroup)
-		var order []string
-		for i, t := range e.data.Tuples {
-			if !c.MatchLHS(t) {
-				continue
-			}
-			k := t.Key(c.LHS)
-			g, ok := byKey[k]
-			if !ok {
-				g = &egroup{ci: ci, id: prefix + k}
-				byKey[k] = g
-				order = append(order, k)
-			}
-			g.members = append(g.members, i)
-		}
-		for _, k := range order {
-			g := byKey[k]
+		for _, cg := range cfd.Groups(e.data, c) {
+			g := &egroup{ci: ci, id: prefix + cg.Key, members: cg.Members}
 			if done[g.id] {
 				continue
 			}
@@ -143,8 +128,8 @@ func (e *Engine) resolveGroup(c *cfd.CFD, g *egroup) bool {
 		for v, n := range count {
 			switch m := count[target]; {
 			case target == "" || n > m,
-				n == m && confSum[v] > confSum[target],
-				n == m && confSum[v] == confSum[target] && v < target:
+				n == m && quantConf(confSum[v]) > quantConf(confSum[target]),
+				n == m && quantConf(confSum[v]) == quantConf(confSum[target]) && v < target:
 				target = v
 			}
 		}

@@ -75,17 +75,38 @@ func newMatcher(m *md.MD, master *relation.Relation) *matcher {
 }
 
 // candidates returns the master tuple indexes on which the full MD premise
-// holds for t, going through the blocking indexes when available.
+// holds for t, going through the blocking indexes when available, and counts
+// the query in the matcher's statistics.
 func (x *matcher) candidates(t *relation.Tuple, topL int) []int {
 	x.stats.Lookups++
-	var ids []int
+	ids, scanned := x.block(t, topL)
+	if scanned {
+		x.stats.FullScans++
+	}
+	x.stats.Candidates += len(ids)
+	out := x.verify(t, ids)
+	x.stats.Verified += len(out)
+	return out
+}
+
+// probe is candidates without the statistics. hRepair's master-data
+// tie-breaking uses it so the per-MD stats keep measuring matching work
+// only, one lookup per tuple per round.
+func (x *matcher) probe(t *relation.Tuple, topL int) []int {
+	ids, _ := x.block(t, topL)
+	return x.verify(t, ids)
+}
+
+// block returns the raw candidate ids for t from the blocking indexes, and
+// whether it had to fall back to a full scan of the master relation.
+func (x *matcher) block(t *relation.Tuple, topL int) (ids []int, fullScan bool) {
 	switch {
 	case x.eqIndex != nil:
 		ids = x.eqIndex[t.Key(x.eqDataAttrs)]
 	case x.tree != nil:
 		v := t.Values[x.simData]
 		if relation.IsNull(v) {
-			return nil
+			return nil, false
 		}
 		// Partition v into K+1 contiguous pieces: at most K edits touch at
 		// most K pieces, so edit(u, v) <= K implies u contains one piece
@@ -95,19 +116,23 @@ func (x *matcher) candidates(t *relation.Tuple, topL int) []int {
 			ids = append(ids, x.treeIDs[mt.ID]...)
 		}
 	default:
-		x.stats.FullScans++
 		ids = make([]int, x.master.Len())
 		for j := range ids {
 			ids[j] = j
 		}
+		fullScan = true
 	}
-	x.stats.Candidates += len(ids)
+	return ids, fullScan
+}
+
+// verify filters candidate ids down to those on which the full premise
+// holds.
+func (x *matcher) verify(t *relation.Tuple, ids []int) []int {
 	var out []int
 	for _, j := range ids {
 		if x.m.MatchLHS(t, x.master.Tuples[j]) {
 			out = append(out, j)
 		}
 	}
-	x.stats.Verified += len(out)
 	return out
 }

@@ -169,15 +169,28 @@ func SatisfiesAll(d, dm *relation.Relation, gamma []*MD) bool {
 	return true
 }
 
-// Violations returns all violating (t, s) pairs of m on (D, Dm).
-func Violations(d, dm *relation.Relation, m *MD) []Violation {
-	var out []Violation
+// VisitViolations streams every violating (t, s) pair of m on (D, Dm) to fn
+// in (T, S) order, stopping early when fn returns false. Callers that only
+// count or sample violations use it to avoid materializing the worst-case
+// O(|D|·|Dm|) pair set that Violations allocates.
+func VisitViolations(d, dm *relation.Relation, m *MD, fn func(Violation) bool) {
 	for i, t := range d.Tuples {
 		for j, s := range dm.Tuples {
 			if m.MatchLHS(t, s) && !m.RHSHolds(t, s) {
-				out = append(out, Violation{MD: m, T: i, S: j})
+				if !fn(Violation{MD: m, T: i, S: j}) {
+					return
+				}
 			}
 		}
 	}
+}
+
+// Violations returns all violating (t, s) pairs of m on (D, Dm).
+func Violations(d, dm *relation.Relation, m *MD) []Violation {
+	var out []Violation
+	VisitViolations(d, dm, m, func(v Violation) bool {
+		out = append(out, v)
+		return true
+	})
 	return out
 }

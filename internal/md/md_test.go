@@ -26,7 +26,8 @@ func masterData(ms *relation.Schema) *relation.Relation {
 
 // psi is the MD of Example 1.1:
 // tran[LN,city,St,post] = card[LN,city,St,zip] ^ tran[FN] ~ card[FN]
-//   -> tran[FN,phn] <=> card[FN,tel].
+//
+//	-> tran[FN,phn] <=> card[FN,tel].
 func psi(ds, ms *relation.Schema) *MD {
 	return New("psi", ds, ms,
 		[]ClauseSpec{

@@ -68,6 +68,19 @@ func (r *Relation) SetAllConf(cf float64) {
 	}
 }
 
+// MarkCounts returns, indexed by FixMark, the number of cells carrying each
+// fix mark — the tri-level accounting of how much of the relation each
+// cleaning phase wrote. Summing the counts gives the total cell count.
+func (r *Relation) MarkCounts() [4]int {
+	var out [4]int
+	for _, t := range r.Tuples {
+		for _, m := range t.Marks {
+			out[m]++
+		}
+	}
+	return out
+}
+
 // DiffCells counts cells on which r and other disagree. Both relations must
 // have the same schema and cardinality; tuples are compared by position.
 func (r *Relation) DiffCells(other *Relation) int {

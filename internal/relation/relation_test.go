@@ -234,3 +234,28 @@ func TestKeyInjectiveProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMarkCounts(t *testing.T) {
+	r := New(NewSchema("r", "A", "B", "C"))
+	r.Append("1", "2", "3")
+	r.Append("4", "5", "6")
+	if got := r.MarkCounts(); got != [4]int{6, 0, 0, 0} {
+		t.Errorf("fresh MarkCounts = %v, want all none", got)
+	}
+	r.Tuples[0].Set(0, "x", 0.9, FixDeterministic)
+	r.Tuples[0].Set(1, "y", 0.7, FixReliable)
+	r.Tuples[1].Set(2, "z", 0.5, FixPossible)
+	r.Tuples[1].Set(0, "w", 0.5, FixPossible)
+	got := r.MarkCounts()
+	want := [4]int{2, 1, 1, 2}
+	if got != want {
+		t.Errorf("MarkCounts = %v, want %v", got, want)
+	}
+	n := 0
+	for _, c := range got {
+		n += c
+	}
+	if n != r.Len()*r.Schema.Arity() {
+		t.Errorf("MarkCounts sums to %d, want %d cells", n, r.Len()*r.Schema.Arity())
+	}
+}

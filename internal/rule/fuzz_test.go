@@ -1,0 +1,52 @@
+package rule
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzParseRules feeds arbitrary text to the rules parser and checks two
+// properties: the parser never panics, and any rule set it accepts
+// round-trips — FormatRules renders it back into the rules syntax, and
+// re-parsing that text yields the same dependencies (compared through their
+// name-free String forms, since generated names depend on line numbering).
+func FuzzParseRules(f *testing.F) {
+	data := relation.NewSchema("tran", "FN", "LN", "St", "city", "AC", "post", "phn")
+	master := relation.NewSchema("card", "FN", "LN", "St", "city", "AC", "zip", "tel")
+
+	f.Add("cfd AC=131 -> city=Edi")
+	f.Add("cfd AC=131, city=_ -> city=Edi\ncfd city, phn -> St, AC, post")
+	f.Add("md LN=LN, city=city, St=St, post=zip, FN~FN(edit<=2) -> FN=FN, phn=tel")
+	f.Add("md FN~FN(jw>=0.9) -> FN=FN\nmd FN~FN(jaccard3>=0.5) -> FN=FN")
+	f.Add("md FN~FN(=) -> FN=FN")
+	f.Add("# comment\n\ncfd post= -> St=")
+	f.Add("cfd post -> St=EH7 4AH\ncfd St=a=b -> post=x->y")
+	f.Add("cfd -> \nmd ~( -> =")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		cfds, mds, err := ParseRules(data, master, text)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		formatted := FormatRules(cfds, mds)
+		cfds2, mds2, err := ParseRules(data, master, formatted)
+		if err != nil {
+			t.Fatalf("re-parse of formatted rules failed: %v\ninput: %q\nformatted: %q", err, text, formatted)
+		}
+		if len(cfds2) != len(cfds) || len(mds2) != len(mds) {
+			t.Fatalf("round-trip changed rule counts: %d/%d CFDs, %d/%d MDs\ninput: %q\nformatted: %q",
+				len(cfds), len(cfds2), len(mds), len(mds2), text, formatted)
+		}
+		for i := range cfds {
+			if got, want := cfds2[i].String(), cfds[i].String(); got != want {
+				t.Errorf("CFD %d round-trip: got %s, want %s\ninput: %q", i, got, want, text)
+			}
+		}
+		for i := range mds {
+			if got, want := mds2[i].String(), mds[i].String(); got != want {
+				t.Errorf("MD %d round-trip: got %s, want %s\ninput: %q", i, got, want, text)
+			}
+		}
+	})
+}

@@ -177,6 +177,58 @@ func parsePredicate(s string) (similarity.Predicate, error) {
 	}
 }
 
+// FormatRules renders normalized CFDs and MDs back into the line-oriented
+// syntax accepted by ParseRules, one rule per line. ParseRules(FormatRules(
+// ParseRules(text))) yields the same dependencies (up to generated names)
+// for any text ParseRules accepts, which the fuzz suite relies on.
+func FormatRules(cfds []*cfd.CFD, mds []*md.MD) string {
+	var b strings.Builder
+	for _, c := range cfds {
+		b.WriteString("cfd ")
+		for i, a := range c.LHS {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatItem(c.Schema.Attrs[a], c.LHSPattern[i]))
+		}
+		b.WriteString(" -> ")
+		b.WriteString(formatItem(c.Schema.Attrs[c.RHS], c.RHSPattern))
+		b.WriteByte('\n')
+	}
+	for _, m := range mds {
+		b.WriteString("md ")
+		for i, cl := range m.LHS {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			d, ma := m.Data.Attrs[cl.DataAttr], m.Master.Attrs[cl.MasterAttr]
+			if cl.Pred.Exact {
+				fmt.Fprintf(&b, "%s=%s", d, ma)
+			} else {
+				fmt.Fprintf(&b, "%s~%s(%s)", d, ma, cl.Pred.Name)
+			}
+		}
+		b.WriteString(" -> ")
+		for i, p := range m.RHS {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%s", m.Data.Attrs[p.DataAttr], m.Master.Attrs[p.MasterAttr])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatItem renders one CFD item: a bare attribute for the unnamed
+// variable, attr=value otherwise (including the empty constant, "attr=").
+func formatItem(attr, pattern string) string {
+	if pattern == cfd.Wildcard {
+		return attr
+	}
+	return attr + "=" + pattern
+}
+
 func splitItems(s string) []string {
 	var out []string
 	for _, item := range strings.Split(s, ",") {

@@ -1,0 +1,87 @@
+package similarity
+
+import "testing"
+
+// TestWithinUnicodeAndEmpty pins the byte-level semantics of the banded
+// edit-distance check on multi-byte and empty inputs: the package operates
+// on bytes, so one accented character is two edits away from its ASCII
+// counterpart, and two code points sharing a UTF-8 lead byte are closer
+// than their rune distance suggests.
+func TestWithinUnicodeAndEmpty(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		k    int
+		want bool
+	}{
+		{"both empty, k=0", "", "", 0, true},
+		{"both empty, negative k", "", "", -1, false},
+		{"empty vs ascii, k too small", "", "ab", 1, false},
+		{"empty vs ascii, k exact", "", "ab", 2, true},
+		{"empty vs multibyte rune", "", "é", 1, false}, // é is 2 bytes
+		{"empty vs multibyte rune, byte length", "", "é", 2, true},
+		{"accent is two byte edits", "café", "cafe", 1, false},
+		{"accent is two byte edits, k=2", "café", "cafe", 2, true},
+		{"equal unicode", "日本語", "日本語", 0, true},
+		{"greek letters share lead byte", "α", "β", 1, true}, // 0xCE 0xB1 vs 0xCE 0xB2
+		{"emoji differ in last byte", "😀", "😁", 1, true},
+		{"emoji vs ascii", "😀", "a", 3, false},
+		{"emoji vs ascii, byte length", "😀", "a", 4, true},
+		{"multibyte swap", "αβ", "βα", 2, true}, // shared 0xCE bytes: two substitutions
+		{"null byte is a byte", "a\x00b", "ab", 1, true},
+	}
+	for _, tc := range tests {
+		if got := Within(tc.a, tc.b, tc.k); got != tc.want {
+			t.Errorf("%s: Within(%q, %q, %d) = %v, want %v", tc.name, tc.a, tc.b, tc.k, got, tc.want)
+		}
+		if got := Within(tc.b, tc.a, tc.k); got != tc.want {
+			t.Errorf("%s: Within is not symmetric on (%q, %q, %d)", tc.name, tc.a, tc.b, tc.k)
+		}
+	}
+}
+
+// TestWithinAgreesWithLevenshteinOnUnicode cross-checks the banded check
+// against the full dynamic program over unicode-heavy pairs for every small
+// threshold.
+func TestWithinAgreesWithLevenshteinOnUnicode(t *testing.T) {
+	words := []string{"", "a", "é", "ée", "café", "cafe", "caffè", "αβγ", "βγδ",
+		"日本語", "日本", "😀😁", "😀", "naïve", "naive", "naïve"}
+	for _, a := range words {
+		for _, b := range words {
+			d := Levenshtein(a, b)
+			for k := 0; k <= 6; k++ {
+				if got, want := Within(a, b, k), d <= k; got != want {
+					t.Errorf("Within(%q, %q, %d) = %v, want %v (Levenshtein = %d)",
+						a, b, k, got, want, d)
+				}
+			}
+		}
+	}
+}
+
+// TestLCSubstringUnicodeAndEmpty pins LCSubstring's byte semantics on the
+// same kinds of inputs; the suffix-tree blocking bound builds on it.
+func TestLCSubstringUnicodeAndEmpty(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 0},
+		{"abc", "", 0},
+		{"αβγ", "βγδ", 4},   // common bytes 0xCE 0xB2 0xCE 0xB3
+		{"αβ", "βγδ", 2},    // common bytes 0xCE 0xB2
+		{"α", "δ", 1},       // shared UTF-8 lead byte 0xCE
+		{"café", "cafe", 3}, // "caf"
+		{"日本語", "語日本", 6},   // "日本" is 6 bytes
+		{"😀", "😁", 3},       // emoji share a 3-byte prefix
+	}
+	for _, tc := range tests {
+		if got := LCSubstring(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCSubstring(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := LCSubstring(tc.b, tc.a); got != tc.want {
+			t.Errorf("LCSubstring(%q, %q) = %d, want %d (asymmetric)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
