@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/clean"
+	"repro/internal/gen"
+)
+
+// benchReport is the JSON record one -bench run emits. Visits are the
+// deterministic work measure (rule-applier tuple visits, see
+// clean.ApplyStats); the nanosecond timings are recorded for the perf
+// trajectory but are machine-dependent, so the regression gate compares
+// visits, not wall-clock.
+type benchReport struct {
+	Config            gen.Config
+	RescanNs          int64
+	IncrementalNs     int64
+	Speedup           float64 // RescanNs / IncrementalNs, same process and machine
+	RescanVisits      int
+	IncrementalVisits int
+	VisitRatio        float64 // RescanVisits / IncrementalVisits
+	Fixes             int
+	Asserts           int
+	Conflicts         int
+	Unresolved        int
+}
+
+// maxVisitRegression is the CI gate: the run fails when the incremental
+// engine's visit count grows more than 20% over the committed baseline, or
+// its advantage over the rescan engine shrinks by more than 20%.
+const maxVisitRegression = 1.20
+
+// runBench generates the configured synthetic instance, runs the full
+// pipeline once per scheduler mode, writes the JSON report, and enforces the
+// baseline gate when one is given.
+func runBench(cfg gen.Config, outPath, baselinePath string, stderr io.Writer) error {
+	inst := gen.Generate(cfg)
+	opts := clean.DefaultOptions()
+
+	opts.Rescan = true
+	t0 := time.Now()
+	ref := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
+	rescanNs := time.Since(t0).Nanoseconds()
+
+	opts.Rescan = false
+	t0 = time.Now()
+	inc := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
+	incrementalNs := time.Since(t0).Nanoseconds()
+
+	// The two schedulers must agree fix-for-fix; a benchmark that measures
+	// two different computations is worthless, so this is a hard failure.
+	// The comparison is deep — full fix records in order, conflicts, the
+	// certified report, and the repaired cells — because this workload (MDs
+	// plus master data) is exactly the shape the nil-master property corpus
+	// does not cover.
+	if !reflect.DeepEqual(inc.Fixes, ref.Fixes) || inc.Asserts != ref.Asserts ||
+		!reflect.DeepEqual(inc.Conflicts, ref.Conflicts) ||
+		inc.Report.String() != ref.Report.String() ||
+		inc.Data.DiffCells(ref.Data) != 0 {
+		return fmt.Errorf("bench: incremental and rescan engines disagree (%d vs %d fixes, %d vs %d asserts, %d differing cells)",
+			len(inc.Fixes), len(ref.Fixes), inc.Asserts, ref.Asserts, inc.Data.DiffCells(ref.Data))
+	}
+
+	rep := benchReport{
+		Config:            cfg,
+		RescanNs:          rescanNs,
+		IncrementalNs:     incrementalNs,
+		Speedup:           float64(rescanNs) / float64(incrementalNs),
+		RescanVisits:      ref.TotalVisits(),
+		IncrementalVisits: inc.TotalVisits(),
+		Fixes:             len(inc.Fixes),
+		Asserts:           inc.Asserts,
+		Conflicts:         len(inc.Conflicts),
+		Unresolved:        len(inc.Unresolved),
+	}
+	rep.VisitRatio = float64(rep.RescanVisits) / float64(rep.IncrementalVisits)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "bench: %d tuples, %d dirtied cells, %d fixes\n",
+		cfg.Tuples, inst.Dirtied, rep.Fixes)
+	fmt.Fprintf(stderr, "bench: rescan      %8.1fms  %9d visits\n",
+		float64(rescanNs)/1e6, rep.RescanVisits)
+	fmt.Fprintf(stderr, "bench: incremental %8.1fms  %9d visits\n",
+		float64(incrementalNs)/1e6, rep.IncrementalVisits)
+	fmt.Fprintf(stderr, "bench: speedup %.2fx, visit ratio %.2fx, report written to %s\n",
+		rep.Speedup, rep.VisitRatio, outPath)
+
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	return checkBaseline(rep, base, stderr)
+}
+
+func readBaseline(path string) (benchReport, error) {
+	var base benchReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return base, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
+}
+
+// checkBaseline fails the run when the deterministic work counters regress
+// more than 20% against the committed baseline. Wall-clock is only sanity-
+// checked (the incremental engine must not be slower than the rescan one in
+// the same process); CI runners are too noisy for an absolute time gate.
+func checkBaseline(rep, base benchReport, stderr io.Writer) error {
+	if base.IncrementalVisits <= 0 || base.VisitRatio <= 0 {
+		return fmt.Errorf("bench: baseline has no visit counts; regenerate it with -bench")
+	}
+	if got, limit := rep.IncrementalVisits, float64(base.IncrementalVisits)*maxVisitRegression; float64(got) > limit {
+		return fmt.Errorf("bench: incremental visits regressed: %d > %.0f (baseline %d +20%%)",
+			got, limit, base.IncrementalVisits)
+	}
+	if got, floor := rep.VisitRatio, base.VisitRatio/maxVisitRegression; got < floor {
+		return fmt.Errorf("bench: visit ratio regressed: %.2f < %.2f (baseline %.2f -20%%)",
+			got, floor, base.VisitRatio)
+	}
+	if rep.Speedup < 1 {
+		return fmt.Errorf("bench: incremental engine slower than rescan (%.2fx)", rep.Speedup)
+	}
+	fmt.Fprintf(stderr, "bench: within baseline (visits %d <= %d +20%%, ratio %.2f >= %.2f -20%%)\n",
+		rep.IncrementalVisits, base.IncrementalVisits, rep.VisitRatio, base.VisitRatio)
+	return nil
+}
+
+// benchSHA picks the label embedded in the default output file name.
+func benchSHA(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	if sha := os.Getenv("GITHUB_SHA"); len(sha) >= 8 {
+		return sha[:8]
+	}
+	return "local"
+}

@@ -5,12 +5,20 @@
 // Usage:
 //
 //	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv] [-certify]
+//	uniclean -bench [-bench.tuples N] [-bench.dirty R] [-bench.seed S] [-bench.baseline bench/baseline.json]
 //
 // The repaired relation is written as CSV to -out ("-" for stdout); the
 // cleaning report — fix counts, matcher statistics, conflicts and the
 // resolution status of every rule — goes to stderr. With -certify, the
 // Checker's full violation report is printed when the output is still
 // dirty.
+//
+// With -bench, the tool instead generates a synthetic dirty instance
+// (internal/gen), runs the pipeline once with the full-rescan reference
+// scheduler and once with the delta-driven one, writes a BENCH_<sha>.json
+// report with timings and deterministic visit counters, and — when
+// -bench.baseline is given — fails if the visit counters regressed more
+// than 20% against the committed baseline.
 //
 // Exit status distinguishes failure modes: 0 when the output satisfies
 // every rule, 1 on usage, I/O or rule-parsing errors, and 2 when cleaning
@@ -28,6 +36,7 @@ import (
 	"strings"
 
 	"repro/internal/clean"
+	"repro/internal/gen"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -72,8 +81,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defaultConf := fs.Float64("defaultconf", 0, "cell confidence assumed when -conf is not given")
 	certify := fs.Bool("certify", false, "print the checker's violation report when the output is still dirty")
 	verbose := fs.Bool("v", false, "list every fix in the report")
+	rescan := fs.Bool("rescan", false, "use the full-rescan reference scheduler instead of the delta-driven one")
+	bench := fs.Bool("bench", false, "run the synthetic benchmark instead of cleaning CSV input")
+	benchTuples := fs.Int("bench.tuples", 10000, "bench: data relation size")
+	benchMaster := fs.Int("bench.master", 1000, "bench: master relation size")
+	benchDirty := fs.Float64("bench.dirty", 0.05, "bench: per-cell error rate")
+	benchFanout := fs.Int("bench.fanout", 3, "bench: constant-CFD fanout")
+	benchSeed := fs.Int64("bench.seed", 1, "bench: generator seed")
+	benchOut := fs.String("bench.out", "", "bench: JSON report path (default BENCH_<sha>.json)")
+	benchBaseline := fs.String("bench.baseline", "", "bench: baseline JSON to gate regressions against")
+	benchSha := fs.String("bench.sha", "", "bench: label for the default report name (default $GITHUB_SHA or 'local')")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *bench {
+		cfg := gen.DefaultConfig()
+		cfg.Tuples = *benchTuples
+		cfg.MasterSize = *benchMaster
+		cfg.ErrorRate = *benchDirty
+		cfg.RuleFanout = *benchFanout
+		cfg.Seed = *benchSeed
+		out := *benchOut
+		if out == "" {
+			out = fmt.Sprintf("BENCH_%s.json", benchSHA(*benchSha))
+		}
+		return runBench(cfg, out, *benchBaseline, stderr)
 	}
 	if *dataPath == "" || *rulesPath == "" {
 		fs.Usage()
@@ -121,7 +153,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s: no rules", *rulesPath)
 	}
 
-	res := clean.Run(data, master, rules, clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget})
+	res := clean.Run(data, master, rules,
+		clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan})
 
 	out := stdout
 	if *outPath != "-" {
@@ -172,6 +205,7 @@ func report(w io.Writer, data, master *relation.Relation, rules []rule.Rule, res
 	fmt.Fprintf(w, "cells: %d untouched, %d deterministic, %d reliable, %d possible\n",
 		marks[relation.FixNone], marks[relation.FixDeterministic],
 		marks[relation.FixReliable], marks[relation.FixPossible])
+	fmt.Fprintf(w, "scheduler: %d applier tuple visits\n", res.TotalVisits())
 	names := make([]string, 0, len(res.Match))
 	for name := range res.Match {
 		names = append(names, name)

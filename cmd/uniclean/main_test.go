@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -162,5 +163,50 @@ func TestRunStdoutOutput(t *testing.T) {
 	}
 	if !strings.HasPrefix(stdout.String(), "FN,LN,St,city,AC,post,phn\n") {
 		t.Errorf("stdout is not the repaired CSV:\n%s", stdout.String())
+	}
+}
+
+// TestRunBenchMode drives the -bench path on a small config: the JSON report
+// must land at -bench.out with sane counters, a matching baseline must pass
+// the gate, and a baseline demanding fewer visits must fail it.
+func TestRunBenchMode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-bench",
+		"-bench.tuples", "500", "-bench.master", "100",
+		"-bench.dirty", "0.05", "-bench.seed", "7",
+		"-bench.out", out,
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("bench run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	rep, err := readBaseline(out)
+	if err != nil {
+		t.Fatalf("report unreadable: %v", err)
+	}
+	if rep.IncrementalVisits <= 0 || rep.RescanVisits <= rep.IncrementalVisits {
+		t.Fatalf("implausible visit counters: %+v", rep)
+	}
+	if rep.Fixes == 0 {
+		t.Fatal("bench workload produced no fixes")
+	}
+
+	// Gate against the just-written report: identical counters must pass.
+	if err := run(append(args, "-bench.baseline", out), &stdout, &stderr); err != nil {
+		t.Fatalf("gate against own report failed: %v", err)
+	}
+
+	// A baseline claiming far fewer visits must trip the gate.
+	rep.IncrementalVisits /= 2
+	buf, _ := json.Marshal(rep)
+	tight := filepath.Join(dir, "tight.json")
+	if err := os.WriteFile(tight, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(append(args, "-bench.baseline", tight), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("gate did not catch a visit regression: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/gen"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -74,6 +75,55 @@ func BenchmarkERepair(b *testing.B) {
 		e.CRepair()
 		b.StartTimer()
 		e.ERepair()
+	}
+}
+
+// BenchmarkRunIncremental measures the full pipeline with the delta-driven
+// scheduler on the 10k-tuple / 5%-dirty generator config — the headline
+// number the CI gate tracks.
+func BenchmarkRunIncremental(b *testing.B) {
+	benchmarkRun(b, false)
+}
+
+// BenchmarkRunRescan measures the full-rescan reference on the same
+// workload, so the speedup is a recorded ratio, not a claim.
+func BenchmarkRunRescan(b *testing.B) {
+	benchmarkRun(b, true)
+}
+
+func benchmarkRun(b *testing.B, rescan bool) {
+	inst := gen.Generate(gen.DefaultConfig())
+	opts := DefaultOptions()
+	opts.Rescan = rescan
+	b.ReportAllocs()
+	b.ResetTimer()
+	var visits int
+	for i := 0; i < b.N; i++ {
+		res := Run(inst.Data, inst.Master, inst.Rules, opts)
+		visits = res.TotalVisits()
+	}
+	b.ReportMetric(float64(visits), "visits/run")
+}
+
+// TestIncrementalVisitRatio is the acceptance bar of the delta-driven
+// scheduler at the benchmark config: at 10k tuples / 5% dirty, the
+// incremental engine must touch at least 5x fewer tuples than the
+// full-rescan reference while producing an identical result.
+func TestIncrementalVisitRatio(t *testing.T) {
+	inst := gen.Generate(gen.DefaultConfig())
+	inc, ref := runModes(inst.Data, inst.Master, inst.Rules, DefaultOptions())
+	if d := diffResults(inc, ref); d != "" {
+		t.Fatalf("engines disagree on the benchmark workload: %s", d)
+	}
+	iv, rv := inc.TotalVisits(), ref.TotalVisits()
+	if iv == 0 || rv == 0 {
+		t.Fatalf("visit counters empty: incremental %d, rescan %d", iv, rv)
+	}
+	if ratio := float64(rv) / float64(iv); ratio < 5 {
+		t.Errorf("rescan/incremental visit ratio = %.2f (%d vs %d), want >= 5", ratio, rv, iv)
+	}
+	if len(inc.Fixes) == 0 {
+		t.Error("benchmark workload produced no fixes; the generator is not exercising the engine")
 	}
 }
 

@@ -132,7 +132,7 @@ func (c *Checker) Check(d *relation.Relation) *Report {
 			// Streamed rather than materialized: md.Violations would build
 			// the worst-case O(|D|·|Dm|) pair slice before the per-rule cap
 			// could drop anything.
-			md.VisitViolations(d, c.master, r.MD, func(v md.Violation) bool {
+			c.visitMDViolations(d, r.MD, func(v md.Violation) bool {
 				if rep.byRule[name] >= maxStoredPerRule {
 					// Beyond the cap: tally without formatting the detail.
 					rep.count(name, r.Kind)
@@ -176,6 +176,33 @@ func (c *Checker) Check(d *relation.Relation) *Report {
 		}
 	}
 	return rep
+}
+
+// visitMDViolations streams the violating (t, s) pairs of m in (T, S) order.
+// When the MD has equality clauses, candidates come from an equality
+// blocking index over the master relation instead of the O(|D|·|Dm|) nested
+// scan of md.VisitViolations — certification was otherwise the dominant cost
+// of a whole Run on indexed workloads. The enumeration is exact: index
+// buckets hold ascending master indexes, the full premise is re-verified on
+// every candidate, and a pair outside the candidate set fails its equality
+// clause, so the same violations appear in the same order as the scan.
+func (c *Checker) visitMDViolations(d *relation.Relation, m *md.MD, fn func(md.Violation) bool) {
+	eqData, eqMaster := eqClauses(m)
+	if len(eqData) == 0 {
+		md.VisitViolations(d, c.master, m, fn)
+		return
+	}
+	idx := buildEqIndex(c.master, eqMaster)
+	for i, t := range d.Tuples {
+		for _, j := range idx[t.Key(eqData)] {
+			s := c.master.Tuples[j]
+			if m.MatchLHS(t, s) && !m.RHSHolds(t, s) {
+				if !fn(md.Violation{MD: m, T: i, S: j}) {
+					return
+				}
+			}
+		}
+	}
 }
 
 func (r *Report) add(v Violation) {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/avl"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -51,6 +52,15 @@ type Options struct {
 	// retraction, which prevents oscillation between interacting rules.
 	// 0 means DefaultHBudget.
 	HBudget int
+	// Rescan selects the full-rescan reference scheduler: every cRepair and
+	// hRepair round re-applies every rule to every tuple, and eRepair
+	// re-groups whole rules after each resolution, as in the original
+	// engine. The default (false) is the delta-driven scheduler, which after
+	// the seeding round hands each rule only the tuples and groups whose
+	// read attributes were written since the rule last saw them. Both
+	// produce fix-for-fix identical Results; Rescan exists as the
+	// correctness reference and the benchmark baseline.
+	Rescan bool
 }
 
 // DefaultOptions returns the thresholds used in the paper's experiments.
@@ -75,12 +85,26 @@ func (f Fix) String() string {
 // MatchStats counts the work done by one MD's blocking matcher, so that
 // tests and reports can verify matching does not degenerate to a full scan.
 type MatchStats struct {
-	Lookups    int // candidate queries issued (one per tuple per round)
+	Lookups    int // candidate queries issued (one per tuple visit)
 	Candidates int // master tuples examined across all lookups
 	Verified   int // candidates on which the full premise held
 	FullScans  int // lookups that had no usable index and scanned Dm
 	MasterSize int // |Dm|
 }
+
+// ApplyStats counts, per rule, the tuples and groups its appliers examined
+// across the whole run. It is the scheduler's analogue of MatchStats: the
+// deterministic work measure that benchmarks and the CI gate compare between
+// the delta-driven and full-rescan schedulers, free of timing noise.
+type ApplyStats struct {
+	CTuples int // tuples (or group members) examined by the cRepair applier
+	CGroups int // variable-CFD groups examined by the cRepair applier
+	ETuples int // group members examined while (re)keying eRepair's tree
+	HTuples int // tuples (or group members) examined by the hRepair applier
+}
+
+// Visits returns the rule's total tuple visits across all phases.
+func (s *ApplyStats) Visits() int { return s.CTuples + s.ETuples + s.HTuples }
 
 // Result is the outcome of a cleaning run.
 type Result struct {
@@ -103,6 +127,8 @@ type Result struct {
 	GroupsResolved int
 	// Match maps MD rule names to their blocking statistics.
 	Match map[string]*MatchStats
+	// Apply maps rule names to their applier work counters.
+	Apply map[string]*ApplyStats
 	// Resolved and Unresolved partition the rule names by whether the
 	// repaired data satisfies the underlying dependency, as certified by
 	// Report.
@@ -139,6 +165,17 @@ func (r *Result) PossibleFixes() []Fix {
 	return r.FixesMarked(relation.FixPossible)
 }
 
+// TotalVisits sums the applier tuple visits over all rules: the
+// scheduler-work measure benchmarks compare between the delta-driven and
+// full-rescan engines.
+func (r *Result) TotalVisits() int {
+	n := 0
+	for _, s := range r.Apply {
+		n += s.Visits()
+	}
+	return n
+}
+
 // Engine runs the cleaning pipeline over a cloned data relation.
 type Engine struct {
 	data     *relation.Relation
@@ -149,28 +186,77 @@ type Engine struct {
 	res      *Result
 	seen     map[string]bool // conflicts already recorded
 	hleft    map[[2]int]int  // hRepair's per-cell budget, shared across passes
+
+	sched   *scheduler    // worklists, group indexes, reverse dependency map
+	apply   []*ApplyStats // parallel to rules
+	cSeeded bool          // cRepair's first round (visit everything) has run
+	hSeeded bool          // hRepair's first round has run
+
+	// eRepair's entropy tree, persistent across outer passes in delta mode:
+	// later ERepair calls re-key only the groups extracted last call (eredo)
+	// plus the groups written since, instead of re-seeding from scratch.
+	etree   *avl.Tree
+	egroups map[string]*egroup // id -> group currently keyed in etree
+	eredo   []eref             // groups extracted by the previous call
+	eSeeded bool               // eRepair's full seeding has run
 }
 
 // New prepares an engine: it clones data, orders the rules per Section 6.2,
-// and builds the MD blocking indexes over master. master may be nil when the
-// rule set contains no MDs.
+// builds the MD blocking indexes over master, and computes the scheduler
+// state (reverse dependency map, variable-CFD group indexes) over the clone.
+// master may be nil when the rule set contains no MDs.
 func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engine {
 	e := &Engine{
 		data:   data.Clone(),
 		master: master,
 		rules:  rule.Order(rules),
 		opts:   opts,
-		res:    &Result{Match: make(map[string]*MatchStats)},
+		res:    &Result{Match: make(map[string]*MatchStats), Apply: make(map[string]*ApplyStats)},
 		seen:   make(map[string]bool),
 	}
 	e.matchers = make([]*matcher, len(e.rules))
+	e.apply = make([]*ApplyStats, len(e.rules))
 	for i, r := range e.rules {
 		if r.Kind == rule.MatchMD && master != nil {
 			e.matchers[i] = newMatcher(r.MD, master)
 			e.res.Match[r.Name()] = &e.matchers[i].stats
 		}
+		e.apply[i] = &ApplyStats{}
+		e.res.Apply[r.Name()] = e.apply[i]
+	}
+	if !opts.Rescan {
+		// The reference engine re-derives everything by scanning, so it
+		// gets no scheduler at all: building and maintaining indexes it
+		// never reads would bill the rescan baseline for delta-engine
+		// bookkeeping and flatter the measured speedup.
+		e.sched = newScheduler(e.rules, e.data)
 	}
 	return e
+}
+
+// noteWrite tells the scheduler that cell (i, a) changed — value, confidence
+// or mark — so the rules reading a get re-enqueued. Every engine write path
+// (fix, assert, eRepair's resolveGroup, hRepair's hfix) funnels through it;
+// that is what keeps the group indexes and worklists exact.
+func (e *Engine) noteWrite(i, a int) {
+	if e.sched != nil {
+		e.sched.noteWrite(i, a, e.data.Tuples[i])
+	}
+}
+
+// setActive and clearActive bracket a per-tuple applier run for the
+// scheduler's self-write suppression; they are no-ops on the scheduler-less
+// reference engine.
+func (e *Engine) setActive(phase, ri, i int) {
+	if e.sched != nil {
+		e.sched.setActive(phase, ri, i)
+	}
+}
+
+func (e *Engine) clearActive() {
+	if e.sched != nil {
+		e.sched.clearActive()
+	}
 }
 
 // Run executes the full tri-level pipeline — cRepair (deterministic fixes),
@@ -218,9 +304,8 @@ func (e *Engine) Finish() *Result {
 	return e.res
 }
 
-// conflictf records a conflict once: cRepair rule appliers rescan the whole
-// relation every fixpoint round, so an unresolvable conflict would otherwise
-// be re-recorded each round.
+// conflictf records a conflict once: an unresolvable conflict would
+// otherwise be re-recorded on every re-visit of its tuple or group.
 func (e *Engine) conflictf(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	if e.seen[msg] {
@@ -230,13 +315,18 @@ func (e *Engine) conflictf(format string, args ...any) {
 	e.res.Conflicts = append(e.res.Conflicts, msg)
 }
 
-// minConfAt returns the fuzzy minimum of t's confidences at attrs.
+// minConfAt returns the fuzzy minimum of t's confidences at attrs, with the
+// same semantics as rule.MinConf (1 when attrs is empty) but computed in
+// place: it sits on the hottest path — every tuple visit of every rule — so
+// it must not allocate.
 func minConfAt(t *relation.Tuple, attrs []int) float64 {
-	confs := make([]float64, len(attrs))
-	for i, a := range attrs {
-		confs[i] = t.Conf[a]
+	m := 1.0
+	for _, a := range attrs {
+		if c := t.Conf[a]; c < m {
+			m = c
+		}
 	}
-	return rule.MinConf(confs)
+	return m
 }
 
 // assert freezes cell (i, a): the cell keeps its value, its confidence is
@@ -252,6 +342,7 @@ func (e *Engine) assert(i, a int, conf float64) int {
 	}
 	t.Marks[a] = relation.FixDeterministic
 	e.res.Asserts++
+	e.noteWrite(i, a)
 	return 1
 }
 
@@ -266,5 +357,6 @@ func (e *Engine) fix(i, a int, v string, conf float64, ruleName string) int {
 		Mark: relation.FixDeterministic, Rule: ruleName,
 	})
 	t.Set(a, v, conf, relation.FixDeterministic)
+	e.noteWrite(i, a)
 	return 1
 }

@@ -12,141 +12,209 @@ import (
 // and freezes its cell for the rest of the pipeline. Because each applied
 // fix or assertion freezes a previously mutable cell, the fixpoint is
 // reached after at most |D|·arity productive passes.
+//
+// Scheduling: the first round visits every tuple of every rule (seeding the
+// worklists); each later round hands a rule only the tuples and groups whose
+// read attributes were written since the rule last saw them, which is the
+// only place new firings can come from. With Options.Rescan, every round is
+// a full visit, as in the reference engine.
 func (e *Engine) CRepair() {
 	for {
 		e.res.Rounds++
+		seeded := e.cSeeded
 		progress := 0
-		for i, r := range e.rules {
-			switch r.Kind {
-			case rule.ConstantCFD:
-				progress += e.applyConstantCFD(r)
-			case rule.VariableCFD:
-				progress += e.applyVariableCFD(r)
-			case rule.MatchMD:
-				progress += e.applyMatchMD(i, r)
+		for ri, r := range e.rules {
+			if e.opts.Rescan || !seeded {
+				progress += e.applyRuleFull(ri, r)
+			} else {
+				progress += e.applyRuleDelta(ri, r)
 			}
 		}
+		e.cSeeded = true
 		if progress == 0 || (e.opts.MaxRounds > 0 && e.res.Rounds >= e.opts.MaxRounds) {
 			return
 		}
 	}
 }
 
-// applyConstantCFD writes the pattern constant tp[A] to every tuple matching
-// tp[X] whose premise cells are trusted (min confidence >= η), per
+// applyRuleFull applies one rule to the whole relation: every rescan-mode
+// round, and the delta engine's seeding round. The seeding round first
+// drops the rule's pending cRepair marks (the full visit covers them) and
+// reads variable-CFD groups out of the persistent index instead of
+// re-grouping the relation; the reference engine has no scheduler and
+// re-derives the grouping with cfd.Groups, which keeps it independent of
+// the index it is the oracle for.
+func (e *Engine) applyRuleFull(ri int, r rule.Rule) int {
+	progress := 0
+	switch r.Kind {
+	case rule.ConstantCFD:
+		if e.sched != nil {
+			e.sched.clearTuples(phaseC, ri)
+		}
+		for i := range e.data.Tuples {
+			e.setActive(phaseC, ri, i)
+			progress += e.applyConstantCFDTuple(ri, r, i)
+		}
+		e.clearActive()
+	case rule.VariableCFD:
+		if e.sched != nil {
+			e.sched.clearGroups(phaseC, ri)
+			for _, members := range e.sched.allGroups(ri) {
+				progress += e.applyVariableCFDGroup(ri, r, members)
+			}
+		} else {
+			for _, g := range cfd.Groups(e.data, r.CFD) {
+				progress += e.applyVariableCFDGroup(ri, r, g.Members)
+			}
+		}
+	case rule.MatchMD:
+		if e.sched != nil {
+			e.sched.clearTuples(phaseC, ri)
+		}
+		for i := range e.data.Tuples {
+			e.setActive(phaseC, ri, i)
+			progress += e.applyMatchMDTuple(ri, r, i)
+		}
+		e.clearActive()
+	}
+	return progress
+}
+
+// applyRuleDelta applies one rule to exactly the tuples/groups enqueued for
+// it since its last visit. Writes made while processing re-enqueue their
+// targets, so interacting rules still chase each other to the fixpoint.
+func (e *Engine) applyRuleDelta(ri int, r rule.Rule) int {
+	progress := 0
+	switch r.Kind {
+	case rule.ConstantCFD:
+		for _, i := range e.sched.takeTuples(phaseC, ri) {
+			e.setActive(phaseC, ri, i)
+			progress += e.applyConstantCFDTuple(ri, r, i)
+		}
+		e.clearActive()
+	case rule.VariableCFD:
+		for _, members := range e.sched.takeGroups(phaseC, ri) {
+			progress += e.applyVariableCFDGroup(ri, r, members)
+		}
+	case rule.MatchMD:
+		for _, i := range e.sched.takeTuples(phaseC, ri) {
+			e.setActive(phaseC, ri, i)
+			progress += e.applyMatchMDTuple(ri, r, i)
+		}
+		e.clearActive()
+	}
+	return progress
+}
+
+// applyConstantCFDTuple writes the pattern constant tp[A] to tuple i if it
+// matches tp[X] and its premise cells are trusted (min confidence >= η), per
 // Section 3.1 rule (2).
-func (e *Engine) applyConstantCFD(r rule.Rule) int {
+func (e *Engine) applyConstantCFDTuple(ri int, r rule.Rule, i int) int {
+	e.apply[ri].CTuples++
 	c := r.CFD
+	t := e.data.Tuples[i]
+	if !c.MatchLHS(t) {
+		return 0
+	}
+	conf := minConfAt(t, c.LHS)
+	if conf < e.opts.Eta {
+		return 0
+	}
+	switch {
+	case t.Values[c.RHS] == c.RHSPattern:
+		return e.assert(i, c.RHS, conf)
+	case t.Marks[c.RHS] == relation.FixDeterministic:
+		e.conflictf("%s: t%d[%s] is frozen at %q, cannot write %q",
+			c.Name, i, e.data.Schema.Attrs[c.RHS], t.Values[c.RHS], c.RHSPattern)
+		return 0
+	default:
+		return e.fix(i, c.RHS, c.RHSPattern, conf, c.Name)
+	}
+}
+
+// applyVariableCFDGroup propagates high-confidence RHS values within one
+// LHS-equal group, per Section 3.1 rule (3): if the trusted cells of the
+// group agree on a value, every member whose premise is trusted is updated
+// to it. Groups whose trusted cells disagree are left for eRepair.
+func (e *Engine) applyVariableCFDGroup(ri int, r rule.Rule, members []int) int {
+	e.apply[ri].CGroups++
+	e.apply[ri].CTuples += len(members)
+	c := r.CFD
+	// Pick the highest-confidence non-null RHS value as the source.
+	bestConf, bestVal := -1.0, ""
+	for _, i := range members {
+		t := e.data.Tuples[i]
+		if v := t.Values[c.RHS]; !relation.IsNull(v) && t.Conf[c.RHS] > bestConf {
+			bestConf, bestVal = t.Conf[c.RHS], v
+		}
+	}
+	if bestConf < e.opts.Eta {
+		return 0
+	}
+	// If another trusted cell disagrees, the group is ambiguous: no
+	// deterministic fix exists (eRepair will weigh the evidence).
+	for _, i := range members {
+		t := e.data.Tuples[i]
+		v := t.Values[c.RHS]
+		if !relation.IsNull(v) && v != bestVal && t.Conf[c.RHS] >= e.opts.Eta {
+			e.conflictf("%s: group %q has trusted values %q and %q",
+				c.Name, e.data.Tuples[members[0]].Key(c.LHS), bestVal, v)
+			return 0
+		}
+	}
 	progress := 0
-	for i, t := range e.data.Tuples {
-		if !c.MatchLHS(t) {
+	for _, i := range members {
+		t := e.data.Tuples[i]
+		pc := minConfAt(t, c.LHS)
+		if pc < e.opts.Eta {
 			continue
 		}
-		conf := minConfAt(t, c.LHS)
-		if conf < e.opts.Eta {
-			continue
+		conf := pc
+		if bestConf < conf {
+			conf = bestConf
 		}
-		switch {
-		case t.Values[c.RHS] == c.RHSPattern:
+		if t.Values[c.RHS] == bestVal {
 			progress += e.assert(i, c.RHS, conf)
-		case t.Marks[c.RHS] == relation.FixDeterministic:
-			e.conflictf("%s: t%d[%s] is frozen at %q, cannot write %q",
-				c.Name, i, e.data.Schema.Attrs[c.RHS], t.Values[c.RHS], c.RHSPattern)
-		default:
-			progress += e.fix(i, c.RHS, c.RHSPattern, conf, c.Name)
+		} else if t.Marks[c.RHS] != relation.FixDeterministic {
+			progress += e.fix(i, c.RHS, bestVal, conf, c.Name)
 		}
 	}
 	return progress
 }
 
-// applyVariableCFD propagates high-confidence RHS values within LHS-equal
-// groups, per Section 3.1 rule (3): if the trusted cells of a group agree on
-// a value, every member whose premise is trusted is updated to it. Groups
-// whose trusted cells disagree are left for eRepair.
-func (e *Engine) applyVariableCFD(r rule.Rule) int {
-	c := r.CFD
-	progress := 0
-	for _, g := range cfd.Groups(e.data, c) {
-		members := g.Members
-		// Pick the highest-confidence non-null RHS value as the source.
-		bestConf, bestVal := -1.0, ""
-		for _, i := range members {
-			t := e.data.Tuples[i]
-			if v := t.Values[c.RHS]; !relation.IsNull(v) && t.Conf[c.RHS] > bestConf {
-				bestConf, bestVal = t.Conf[c.RHS], v
-			}
-		}
-		if bestConf < e.opts.Eta {
-			continue
-		}
-		// If another trusted cell disagrees, the group is ambiguous: no
-		// deterministic fix exists (eRepair will weigh the evidence).
-		ambiguous := false
-		for _, i := range members {
-			t := e.data.Tuples[i]
-			v := t.Values[c.RHS]
-			if !relation.IsNull(v) && v != bestVal && t.Conf[c.RHS] >= e.opts.Eta {
-				e.conflictf("%s: group %q has trusted values %q and %q", c.Name, g.Key, bestVal, v)
-				ambiguous = true
-				break
-			}
-		}
-		if ambiguous {
-			continue
-		}
-		for _, i := range members {
-			t := e.data.Tuples[i]
-			pc := minConfAt(t, c.LHS)
-			if pc < e.opts.Eta {
-				continue
-			}
-			conf := pc
-			if bestConf < conf {
-				conf = bestConf
-			}
-			if t.Values[c.RHS] == bestVal {
-				progress += e.assert(i, c.RHS, conf)
-			} else if t.Marks[c.RHS] != relation.FixDeterministic {
-				progress += e.fix(i, c.RHS, bestVal, conf, c.Name)
-			}
-		}
-	}
-	return progress
-}
-
-// applyMatchMD copies master values into matched data tuples, per
-// Section 3.1 rule (1). Matching goes through the blocking indexes; the fix
-// confidence is the fuzzy minimum over the equality-premise cells of the
-// data tuple (similarity-tested cells contribute no confidence, and master
-// data is clean by assumption).
-func (e *Engine) applyMatchMD(idx int, r rule.Rule) int {
-	x := e.matchers[idx]
+// applyMatchMDTuple copies master values into data tuple i when the MD
+// premise matches, per Section 3.1 rule (1). Matching goes through the
+// blocking indexes; the fix confidence is the fuzzy minimum over the
+// equality-premise cells of the data tuple (similarity-tested cells
+// contribute no confidence, and master data is clean by assumption).
+func (e *Engine) applyMatchMDTuple(ri int, r rule.Rule, i int) int {
+	x := e.matchers[ri]
 	if x == nil {
 		return 0 // no master data: the MD is vacuous
 	}
+	e.apply[ri].CTuples++
 	m := r.MD
+	t := e.data.Tuples[i]
+	conf := minConfAt(t, x.eqDataAttrs)
+	if conf < e.opts.Eta {
+		return 0
+	}
 	progress := 0
-	for i, t := range e.data.Tuples {
-		conf := minConfAt(t, x.eqDataAttrs)
-		if conf < e.opts.Eta {
-			continue
-		}
-		for _, j := range x.candidates(t, e.opts.TopL) {
-			s := e.master.Tuples[j]
-			for _, p := range m.RHS {
-				v := s.Values[p.MasterAttr]
-				if relation.IsNull(v) {
-					continue
-				}
-				switch {
-				case t.Values[p.DataAttr] == v:
-					progress += e.assert(i, p.DataAttr, conf)
-				case t.Marks[p.DataAttr] == relation.FixDeterministic:
-					e.conflictf("%s: t%d[%s] is frozen at %q, master tuple %d says %q",
-						m.Name, i, e.data.Schema.Attrs[p.DataAttr], t.Values[p.DataAttr], j, v)
-				default:
-					progress += e.fix(i, p.DataAttr, v, conf, m.Name)
-				}
+	for _, j := range x.candidates(t, e.opts.TopL) {
+		s := e.master.Tuples[j]
+		for _, p := range m.RHS {
+			v := s.Values[p.MasterAttr]
+			if relation.IsNull(v) {
+				continue
+			}
+			switch {
+			case t.Values[p.DataAttr] == v:
+				progress += e.assert(i, p.DataAttr, conf)
+			case t.Marks[p.DataAttr] == relation.FixDeterministic:
+				e.conflictf("%s: t%d[%s] is frozen at %q, master tuple %d says %q",
+					m.Name, i, e.data.Schema.Attrs[p.DataAttr], t.Values[p.DataAttr], j, v)
+			default:
+				progress += e.fix(i, p.DataAttr, v, conf, m.Name)
 			}
 		}
 	}

@@ -17,61 +17,139 @@ import (
 type egroup struct {
 	ci      int    // index into the engine's variable-CFD list
 	id      string // "<ci>|<LHS key>", the AVL tie-break key
+	key     string // the bare LHS key, for re-keying via the group index
 	members []int  // tuple indexes, in relation order
 	entropy float64
+}
+
+// eref names one group for re-keying at the next ERepair call.
+type eref struct {
+	ci  int
+	key string
 }
 
 // ERepair is the entropy-based phase of Section 6: variable-CFD groups with
 // more than one RHS value are keyed by (entropy, id) in an AVL tree (the
 // "2-in-1" structure of Section 6.3), and the minimum-entropy group — the
 // one whose plurality value is most certain — is resolved first. Resolving a
-// group rewrites mutable cells, so the groups of every rule reading or
-// writing the changed attribute are re-grouped and re-keyed before the next
-// extraction. Fixes are marked FixReliable and carry the plurality fraction
-// as confidence; frozen cells are never overwritten.
+// group rewrites mutable cells, so the groups whose read attributes changed
+// are re-keyed before the next extraction. Fixes are marked FixReliable and
+// carry the plurality fraction as confidence; frozen cells are never
+// overwritten.
+//
+// Scheduling: the delta-driven engine re-keys exactly the groups the
+// scheduler marked dirty under the resolution's writes — the groups of
+// every rule reading the changed attribute that contain a changed tuple.
+// With Options.Rescan, every group of every affected rule is re-grouped from
+// the relation with cfd.Groups, as in the reference engine; the tree ends up
+// identical either way, since unchanged groups keep their (entropy, id) key.
 func (e *Engine) ERepair() {
 	var varCFDs []*cfd.CFD
-	for _, r := range e.rules {
+	var varRules []int // rule indexes parallel to varCFDs
+	for ri, r := range e.rules {
 		if r.Kind == rule.VariableCFD {
 			varCFDs = append(varCFDs, r.CFD)
+			varRules = append(varRules, ri)
 		}
 	}
 	if len(varCFDs) == 0 {
 		return
 	}
 
-	var tree avl.Tree
-	groups := make(map[string]*egroup) // id -> group currently keyed in tree
-	done := make(map[string]bool)      // ids already resolved, never re-keyed
+	var tree *avl.Tree
+	var groups map[string]*egroup // id -> group currently keyed in tree
+	done := make(map[string]bool) // ids already resolved this call, never re-keyed
 
-	// rebuild re-groups one CFD from the current relation state, replacing
-	// any of its groups still keyed in the tree.
-	rebuild := func(ci int) {
-		prefix := strconv.Itoa(ci) + "|"
+	if e.opts.Rescan {
+		tree, groups = &avl.Tree{}, make(map[string]*egroup)
+	} else {
+		if e.etree == nil {
+			e.etree, e.egroups = &avl.Tree{}, make(map[string]*egroup)
+		}
+		tree, groups = e.etree, e.egroups
+	}
+
+	// rekey re-evaluates one group of one CFD from the current relation
+	// state: its stale tree entry is removed and, unless the group is done,
+	// dissolved, or conflict-free, a fresh entry is inserted.
+	rekey := func(vi int, key string, members []int) {
+		id := strconv.Itoa(vi) + "|" + key
+		if g := groups[id]; g != nil {
+			tree.Delete(avl.Key{Entropy: g.entropy, ID: id})
+			delete(groups, id)
+		}
+		if done[id] || len(members) == 0 {
+			return
+		}
+		e.apply[varRules[vi]].ETuples += len(members)
+		g := &egroup{ci: vi, id: id, key: key, members: members}
+		var distinct int
+		g.entropy, distinct = groupEntropy(e.data, varCFDs[vi].RHS, g.members)
+		if distinct < 2 {
+			return // already conflict-free
+		}
+		groups[id] = g
+		tree.Insert(avl.Key{Entropy: g.entropy, ID: g.id})
+	}
+
+	// rekeyFromIndex snapshots the group's current members out of the
+	// scheduler's persistent index. Snapshotting matters: the index slices
+	// mutate under later writes, while a tree entry must keep the
+	// membership it was keyed with until re-keyed — the same staleness
+	// contract the rescan path gets from its cfd.Groups snapshots.
+	rekeyFromIndex := func(vi int, key string) {
+		var members []int
+		if cg := e.sched.gidx[varRules[vi]].groups[key]; cg != nil {
+			members = append([]int(nil), cg.members...)
+		}
+		rekey(vi, key, members)
+	}
+
+	// rebuild re-groups one whole CFD from the current relation state — the
+	// full-rescan reference path, O(|D|) per call.
+	rebuild := func(vi int) {
+		prefix := strconv.Itoa(vi) + "|"
 		for id, g := range groups {
 			if strings.HasPrefix(id, prefix) {
 				tree.Delete(avl.Key{Entropy: g.entropy, ID: id})
 				delete(groups, id)
 			}
 		}
-		c := varCFDs[ci]
-		for _, cg := range cfd.Groups(e.data, c) {
-			g := &egroup{ci: ci, id: prefix + cg.Key, members: cg.Members}
-			if done[g.id] {
-				continue
-			}
-			var distinct int
-			g.entropy, distinct = groupEntropy(e.data, c.RHS, g.members)
-			if distinct < 2 {
-				continue // already conflict-free
-			}
-			groups[g.id] = g
-			tree.Insert(avl.Key{Entropy: g.entropy, ID: g.id})
+		for _, cg := range cfd.Groups(e.data, varCFDs[vi]) {
+			rekey(vi, cg.Key, cg.Members)
 		}
 	}
 
-	for ci := range varCFDs {
-		rebuild(ci)
+	switch {
+	case e.opts.Rescan:
+		for vi := range varCFDs {
+			rebuild(vi)
+		}
+	case !e.eSeeded:
+		// First call: seed every group of every variable CFD out of the
+		// group indexes — no relation scan — after dropping the marks the
+		// seed is about to cover.
+		e.sched.resetE()
+		for vi, ri := range varRules {
+			for key := range e.sched.gidx[ri].groups {
+				rekeyFromIndex(vi, key)
+			}
+		}
+		e.eSeeded = true
+	default:
+		// Later call: the previous call drained the tree, recording every
+		// extracted group in eredo. Groups untouched since keep their keys;
+		// re-evaluate the extracted ones and anything written since.
+		redo := e.eredo
+		e.eredo = nil
+		for _, p := range redo {
+			rekeyFromIndex(p.ci, p.key)
+		}
+		for vj, ri := range varRules {
+			for _, key := range e.sched.gidx[ri].takeKeys(phaseE) {
+				rekeyFromIndex(vj, key)
+			}
+		}
 	}
 	for tree.Len() > 0 {
 		k, _ := tree.Min()
@@ -79,14 +157,25 @@ func (e *Engine) ERepair() {
 		g := groups[k.ID]
 		delete(groups, k.ID)
 		done[g.id] = true
+		if !e.opts.Rescan {
+			e.eredo = append(e.eredo, eref{ci: g.ci, key: g.key})
+		}
 		c := varCFDs[g.ci]
 		if !e.resolveGroup(c, g) {
 			continue
 		}
 		e.res.GroupsResolved++
-		for cj, c2 := range varCFDs {
-			if c2.RHS == c.RHS || hasAttr(c2.LHS, c.RHS) {
-				rebuild(cj)
+		if e.opts.Rescan {
+			for vj, c2 := range varCFDs {
+				if c2.RHS == c.RHS || hasAttr(c2.LHS, c.RHS) {
+					rebuild(vj)
+				}
+			}
+		} else {
+			for vj, ri := range varRules {
+				for _, key := range e.sched.gidx[ri].takeKeys(phaseE) {
+					rekeyFromIndex(vj, key)
+				}
 			}
 		}
 	}
@@ -150,6 +239,7 @@ func (e *Engine) resolveGroup(c *cfd.CFD, g *egroup) bool {
 			Mark: relation.FixReliable, Rule: c.Name,
 		})
 		t.Set(a, target, conf, relation.FixReliable)
+		e.noteWrite(i, a)
 		changed = true
 	}
 	return changed
@@ -158,15 +248,26 @@ func (e *Engine) resolveGroup(c *cfd.CFD, g *egroup) bool {
 // groupEntropy returns the Shannon entropy (base 2) of the RHS value
 // distribution over the group members, and the number of distinct values.
 // Null counts as a value: a group of one constant plus nulls is uncertain.
+//
+// The terms are summed in first-appearance order of the values, not map
+// order: floating-point addition is order-sensitive in the last ulp, and the
+// AVL resolution order breaks entropy ties bit-exactly, so a map-order sum
+// would make the resolution sequence vary run to run whenever two groups
+// share a distribution shape.
 func groupEntropy(d *relation.Relation, a int, members []int) (float64, int) {
 	count := make(map[string]int)
+	order := make([]string, 0, 8)
 	for _, i := range members {
-		count[d.Tuples[i].Values[a]]++
+		v := d.Tuples[i].Values[a]
+		if _, ok := count[v]; !ok {
+			order = append(order, v)
+		}
+		count[v]++
 	}
 	h := 0.0
 	n := float64(len(members))
-	for _, c := range count {
-		p := float64(c) / n
+	for _, v := range order {
+		p := float64(count[v]) / n
 		h -= p * math.Log2(p)
 	}
 	return h, len(count)

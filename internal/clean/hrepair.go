@@ -35,6 +35,12 @@ const DefaultHBudget = 3
 // is bounded by |D|·arity·(2·HBudget+1). A violation whose RHS is frozen
 // and whose LHS cells are all trusted (confidence >= Eta) or frozen is left
 // standing for the Checker to report.
+//
+// Scheduling mirrors CRepair: hRepair's first round visits every tuple and
+// group (seeding its own worklists, independent of cRepair's); later rounds
+// — and later outer passes of Run — visit only the tuples and groups
+// written since hRepair last saw them. Options.Rescan restores the full
+// re-scan of every round.
 func (e *Engine) HRepair() {
 	budget := e.opts.HBudget
 	if budget <= 0 {
@@ -59,103 +65,154 @@ func (e *Engine) HRepair() {
 	}
 	for {
 		e.res.HRounds++
+		seeded := e.hSeeded
 		writes := 0
-		for _, r := range e.rules {
+		for ri, r := range e.rules {
+			full := e.opts.Rescan || !seeded
 			switch r.Kind {
 			case rule.ConstantCFD:
-				writes += e.hConstant(r.CFD, spend)
+				if full {
+					if e.sched != nil {
+						e.sched.clearTuples(phaseH, ri)
+					}
+					for i := range e.data.Tuples {
+						e.setActive(phaseH, ri, i)
+						writes += e.hConstantTuple(ri, r.CFD, i, spend)
+					}
+				} else {
+					for _, i := range e.sched.takeTuples(phaseH, ri) {
+						e.setActive(phaseH, ri, i)
+						writes += e.hConstantTuple(ri, r.CFD, i, spend)
+					}
+				}
+				e.clearActive()
 			case rule.VariableCFD:
-				writes += e.hVariable(r.CFD, spend)
+				switch {
+				case full && e.sched != nil:
+					// Seeding round: groups come from the persistent index,
+					// violating ones filtered the way ViolatingGroups would.
+					e.sched.clearGroups(phaseH, ri)
+					for _, members := range e.sched.allGroups(ri) {
+						if conflictedMembers(e.data, r.CFD.RHS, members) {
+							writes += e.hVariableGroup(ri, r.CFD, members, spend)
+						}
+					}
+				case full:
+					for _, g := range cfd.ViolatingGroups(e.data, r.CFD) {
+						writes += e.hVariableGroup(ri, r.CFD, g.Members, spend)
+					}
+				default:
+					for _, members := range e.sched.takeGroups(phaseH, ri) {
+						if conflictedMembers(e.data, r.CFD.RHS, members) {
+							writes += e.hVariableGroup(ri, r.CFD, members, spend)
+						} else {
+							// Examined but conflict-free: counted here, since
+							// only hVariableGroup counts the groups it runs on.
+							e.apply[ri].HTuples += len(members)
+						}
+					}
+				}
 			}
 		}
+		e.hSeeded = true
 		if writes == 0 {
 			return
 		}
 	}
 }
 
-// hConstant repairs every violation of a constant CFD: the pattern constant
-// is forced, so the only heuristic decision is whether to write it or to
-// retract the tuple from the rule's scope.
-func (e *Engine) hConstant(c *cfd.CFD, spend func(i, a int) bool) int {
-	writes := 0
-	for _, v := range cfd.Violations(e.data, c) {
-		t := e.data.Tuples[v.T1]
-		if t.Marks[c.RHS] != relation.FixDeterministic && spend(v.T1, c.RHS) {
-			writes += e.hfix(v.T1, c.RHS, c.RHSPattern, minConfAt(t, c.LHS), c.Name)
-		} else {
-			writes += e.retract(v.T1, c)
+// conflictedMembers reports whether the members hold more than one distinct
+// RHS value (null counts as a value), i.e. the group is a standing violation.
+func conflictedMembers(d *relation.Relation, a int, members []int) bool {
+	first := d.Tuples[members[0]].Values[a]
+	for _, i := range members[1:] {
+		if d.Tuples[i].Values[a] != first {
+			return true
 		}
 	}
-	return writes
+	return false
 }
 
-// hVariable repairs every disagreeing LHS-equal group of a variable CFD by
-// equalizing the group on a heuristically chosen target value.
-func (e *Engine) hVariable(c *cfd.CFD, spend func(i, a int) bool) int {
+// hConstantTuple repairs tuple i against a constant CFD if it violates it:
+// the pattern constant is forced, so the only heuristic decision is whether
+// to write it or to retract the tuple from the rule's scope.
+func (e *Engine) hConstantTuple(ri int, c *cfd.CFD, i int, spend func(i, a int) bool) int {
+	e.apply[ri].HTuples++
+	t := e.data.Tuples[i]
+	if !c.MatchLHS(t) || t.Values[c.RHS] == c.RHSPattern {
+		return 0
+	}
+	if t.Marks[c.RHS] != relation.FixDeterministic && spend(i, c.RHS) {
+		return e.hfix(i, c.RHS, c.RHSPattern, minConfAt(t, c.LHS), c.Name)
+	}
+	return e.retract(i, c)
+}
+
+// hVariableGroup repairs one disagreeing LHS-equal group of a variable CFD
+// by equalizing it on a heuristically chosen target value.
+func (e *Engine) hVariableGroup(ri int, c *cfd.CFD, members []int, spend func(i, a int) bool) int {
+	e.apply[ri].HTuples += len(members)
 	writes := 0
 	a := c.RHS
-	for _, g := range cfd.ViolatingGroups(e.data, c) {
-		frozen := make(map[string]int) // frozen value -> frozen member count
-		for _, i := range g.Members {
+	frozen := make(map[string]int) // frozen value -> frozen member count
+	for _, i := range members {
+		t := e.data.Tuples[i]
+		if t.Marks[a] == relation.FixDeterministic {
+			frozen[t.Values[a]]++
+		}
+	}
+	if len(frozen) > 1 {
+		// Disagreeing deterministic fixes cannot be equalized, only
+		// shrunk. Retract only the members frozen at minority values
+		// from the rule's scope: the plurality frozen value (ties
+		// broken lexicographically) survives as the next round's
+		// forced target, so the majority's data is kept.
+		keep := ""
+		for v, n := range frozen {
+			if keep == "" || n > frozen[keep] || (n == frozen[keep] && v < keep) {
+				keep = v
+			}
+		}
+		for _, i := range members {
 			t := e.data.Tuples[i]
-			if t.Marks[a] == relation.FixDeterministic {
-				frozen[t.Values[a]]++
-			}
-		}
-		if len(frozen) > 1 {
-			// Disagreeing deterministic fixes cannot be equalized, only
-			// shrunk. Retract only the members frozen at minority values
-			// from the rule's scope: the plurality frozen value (ties
-			// broken lexicographically) survives as the next round's
-			// forced target, so the majority's data is kept.
-			keep := ""
-			for v, n := range frozen {
-				if keep == "" || n > frozen[keep] || (n == frozen[keep] && v < keep) {
-					keep = v
-				}
-			}
-			for _, i := range g.Members {
-				t := e.data.Tuples[i]
-				if t.Marks[a] == relation.FixDeterministic && t.Values[a] != keep {
-					writes += e.retract(i, c)
-				}
-			}
-			continue
-		}
-		var target string
-		var conf float64
-		if len(frozen) == 1 {
-			// A single frozen value dictates the target; the confidence of
-			// the heuristic copies is the plurality fraction of the group,
-			// as in eRepair — not the frozen source's, and never 1: the
-			// copies are still guesses.
-			for v := range frozen {
-				target = v
-			}
-			n := 0
-			for _, i := range g.Members {
-				if e.data.Tuples[i].Values[a] == target {
-					n++
-				}
-			}
-			conf = float64(n) / float64(len(g.Members))
-		} else {
-			target, conf = e.hTarget(c, g.Members)
-			if target == "" {
-				continue // every cell is null: nothing to propagate
-			}
-		}
-		for _, i := range g.Members {
-			t := e.data.Tuples[i]
-			if t.Values[a] == target {
-				continue
-			}
-			if t.Marks[a] != relation.FixDeterministic && spend(i, a) {
-				writes += e.hfix(i, a, target, conf, c.Name)
-			} else {
+			if t.Marks[a] == relation.FixDeterministic && t.Values[a] != keep {
 				writes += e.retract(i, c)
 			}
+		}
+		return writes
+	}
+	var target string
+	var conf float64
+	if len(frozen) == 1 {
+		// A single frozen value dictates the target; the confidence of
+		// the heuristic copies is the plurality fraction of the group,
+		// as in eRepair — not the frozen source's, and never 1: the
+		// copies are still guesses.
+		for v := range frozen {
+			target = v
+		}
+		n := 0
+		for _, i := range members {
+			if e.data.Tuples[i].Values[a] == target {
+				n++
+			}
+		}
+		conf = float64(n) / float64(len(members))
+	} else {
+		target, conf = e.hTarget(c, members)
+		if target == "" {
+			return 0 // every cell is null: nothing to propagate
+		}
+	}
+	for _, i := range members {
+		t := e.data.Tuples[i]
+		if t.Values[a] == target {
+			continue
+		}
+		if t.Marks[a] != relation.FixDeterministic && spend(i, a) {
+			writes += e.hfix(i, a, target, conf, c.Name)
+		} else {
+			writes += e.retract(i, c)
 		}
 	}
 	return writes
@@ -277,5 +334,6 @@ func (e *Engine) hfix(i, a int, v string, conf float64, ruleName string) int {
 		Mark: relation.FixPossible, Rule: ruleName,
 	})
 	t.Set(a, v, conf, relation.FixPossible)
+	e.noteWrite(i, a)
 	return 1
 }

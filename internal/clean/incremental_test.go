@@ -1,0 +1,229 @@
+package clean
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// runModes runs the pipeline twice over identical clones of the instance —
+// once with the delta-driven scheduler, once with the full-rescan reference
+// — and returns both results.
+func runModes(data, master *relation.Relation, rules []rule.Rule, opts Options) (inc, ref *Result) {
+	opts.Rescan = false
+	inc = Run(data, master, rules, opts)
+	opts.Rescan = true
+	ref = Run(data, master, rules, opts)
+	return inc, ref
+}
+
+// diffResults returns a description of the first observable difference
+// between the two results, or "" when they are fix-for-fix identical. The
+// work counters (Match, Apply) are excluded: differing is their purpose.
+func diffResults(inc, ref *Result) string {
+	if !reflect.DeepEqual(inc.Fixes, ref.Fixes) {
+		return fmt.Sprintf("Fixes differ:\nincremental: %v\nrescan:      %v", inc.Fixes, ref.Fixes)
+	}
+	if inc.Asserts != ref.Asserts {
+		return fmt.Sprintf("Asserts: %d vs %d", inc.Asserts, ref.Asserts)
+	}
+	if !reflect.DeepEqual(inc.Conflicts, ref.Conflicts) {
+		return fmt.Sprintf("Conflicts differ:\nincremental: %v\nrescan:      %v", inc.Conflicts, ref.Conflicts)
+	}
+	if inc.GroupsResolved != ref.GroupsResolved {
+		return fmt.Sprintf("GroupsResolved: %d vs %d", inc.GroupsResolved, ref.GroupsResolved)
+	}
+	if inc.Rounds != ref.Rounds || inc.HRounds != ref.HRounds {
+		return fmt.Sprintf("rounds: cRepair %d vs %d, hRepair %d vs %d",
+			inc.Rounds, ref.Rounds, inc.HRounds, ref.HRounds)
+	}
+	if !reflect.DeepEqual(inc.Resolved, ref.Resolved) || !reflect.DeepEqual(inc.Unresolved, ref.Unresolved) {
+		return fmt.Sprintf("resolution status differs: %v/%v vs %v/%v",
+			inc.Resolved, inc.Unresolved, ref.Resolved, ref.Unresolved)
+	}
+	if got, want := inc.Report.String(), ref.Report.String(); got != want {
+		return fmt.Sprintf("Reports differ:\nincremental: %s\nrescan:      %s", got, want)
+	}
+	for i, t := range inc.Data.Tuples {
+		u := ref.Data.Tuples[i]
+		for a := range t.Values {
+			if t.Values[a] != u.Values[a] || t.Conf[a] != u.Conf[a] || t.Marks[a] != u.Marks[a] {
+				return fmt.Sprintf("cell t%d[%d]: (%q, %.3f, %v) vs (%q, %.3f, %v)",
+					i, a, t.Values[a], t.Conf[a], t.Marks[a], u.Values[a], u.Conf[a], u.Marks[a])
+			}
+		}
+	}
+	return ""
+}
+
+// TestPropertyIncrementalEquivalence is the correctness bar of the
+// delta-driven scheduler: over the seeded dirty corpus, the incremental
+// engine must produce fix-for-fix identical results to the full-rescan
+// reference — same Fixes in the same order, same Asserts, Conflicts, group
+// resolutions, round counts, certified Report, and final cell state.
+func TestPropertyIncrementalEquivalence(t *testing.T) {
+	const seeds = 400
+	for seed := int64(0); seed < seeds; seed++ {
+		in := genInstance(seed)
+		inc, ref := runModes(in.relation(nil), nil, in.rules, DefaultOptions())
+		if d := diffResults(inc, ref); d != "" {
+			t.Fatalf("seed %d: incremental and rescan engines disagree: %s", seed, d)
+		}
+	}
+}
+
+// TestIncrementalEquivalenceWithMaster covers the MD path the randomized
+// corpus lacks: the Figure-1 workload exercises equality- and suffix-tree
+// blocking, frozen-cell conflicts and the outer Run fixpoint in both modes.
+func TestIncrementalEquivalenceWithMaster(t *testing.T) {
+	data, master, rules := figure1(t)
+	inc, ref := runModes(data, master, rules, DefaultOptions())
+	if d := diffResults(inc, ref); d != "" {
+		t.Fatalf("incremental and rescan engines disagree on figure1: %s", d)
+	}
+	if inc.TotalVisits() >= ref.TotalVisits() {
+		t.Errorf("incremental visits %d not below rescan visits %d",
+			inc.TotalVisits(), ref.TotalVisits())
+	}
+}
+
+// TestDeltaOnlyRefiresReadingRules pins the reverse dependency map: after
+// the seeding round, a fix to attribute A re-enqueues work only for the
+// rules whose premise or conclusion reads A — a rule over disjoint
+// attributes must not be visited again.
+func TestDeltaOnlyRefiresReadingRules(t *testing.T) {
+	schema := relation.NewSchema("R", "A", "B", "C", "D")
+	rules := rule.Derive([]*cfd.CFD{
+		cfd.FD("fdAB", schema, []string{"A"}, "B"),
+		cfd.FD("fdCD", schema, []string{"C"}, "D"),
+	}, nil)
+	data := relation.New(schema)
+	data.Append("a1", "b1", "c1", "d1")
+	data.Append("a1", "b1", "c1", "d1")
+	data.Append("a2", "b2", "c2", "d2")
+	data.SetAllConf(0.9)
+
+	e := New(data, nil, rules, DefaultOptions())
+	e.CRepair() // seeding round: every rule visits everything
+	ab, cd := *e.res.Apply["fdAB"], *e.res.Apply["fdCD"]
+
+	// A delta write to A moves tuple 0 into a new group of fdAB. Only fdAB
+	// reads A, so only fdAB may be handed work by the next CRepair.
+	e.fix(0, schema.MustIndex("A"), "a2", 0.9, "delta")
+	e.CRepair()
+
+	if got := e.res.Apply["fdAB"].CTuples; got <= ab.CTuples {
+		t.Errorf("fdAB visits stayed at %d after a write to A; want re-fired", got)
+	}
+	if got := e.res.Apply["fdCD"]; got.CTuples != cd.CTuples || got.CGroups != cd.CGroups {
+		t.Errorf("fdCD visits changed from %+v to %+v after a write to A; must not re-fire", cd, *got)
+	}
+}
+
+// TestMasterTieBreakReadsReenqueue pins the scheduler's indirect hRepair
+// dependency: hTarget breaks ties by master-data support, probing group
+// members through the MD premise — so a write to an MD premise attribute
+// must re-enqueue the member's variable-CFD group for the hRepair consumer
+// even though the attribute is in neither the CFD's LHS nor its RHS.
+func TestMasterTieBreakReadsReenqueue(t *testing.T) {
+	dschema := relation.NewSchema("R", "A", "B", "C")
+	mschema := relation.NewSchema("M", "A", "C")
+	master := relation.New(mschema)
+	master.Append("a1", "c1")
+	master.SetAllConf(1)
+	m := md.New("psi", dschema, mschema,
+		[]md.ClauseSpec{md.Eq("A", "A")},
+		[]md.PairSpec{{Data: "C", Master: "C"}})
+	rules := rule.Derive([]*cfd.CFD{cfd.FD("fd", dschema, []string{"B"}, "C")}, []*md.MD{m})
+
+	data := relation.New(dschema)
+	data.Append("a0", "b", "c1")
+	data.Append("a0", "b", "c2")
+	data.SetAllConf(0.5) // below eta: nothing freezes, groups stay put
+
+	e := New(data, master, rules, DefaultOptions())
+	e.CRepair() // seed; no writes at conf 0.5
+	var fdIdx int
+	for ri, r := range e.rules {
+		if r.Kind == rule.VariableCFD {
+			fdIdx = ri
+		}
+	}
+	gi := e.sched.gidx[fdIdx]
+	gi.dirty[phaseH] = make(map[string]bool) // drop any seeding marks
+
+	// A is read only by the MD premise — and, transitively, by the fd's
+	// hRepair tie-break. Writing it must H-dirty tuple 0's group of fd.
+	e.fix(0, dschema.MustIndex("A"), "a1", 0.9, "test")
+	key := e.data.Tuples[0].Key([]int{dschema.MustIndex("B")})
+	if !gi.dirty[phaseH][key] {
+		t.Fatalf("write to MD premise attr A did not H-dirty the fd group %q; dirty = %v",
+			key, gi.dirty[phaseH])
+	}
+	if gi.dirty[phaseC][key] {
+		t.Errorf("write to A must not C-dirty the fd group: cRepair never reads master suggestions")
+	}
+}
+
+// TestCheckerMDBlockingIsExact pins the Checker's equality-blocked MD
+// certification against the naive nested scan: same violating pairs, same
+// (T, S) order, on a dirty instance where premises mix equality and
+// similarity clauses.
+func TestCheckerMDBlockingIsExact(t *testing.T) {
+	data, master, rules := figure1(t)
+	// Check the dirty input directly (not a repair) so violations exist.
+	c := NewChecker(rules, master)
+	for _, r := range rules {
+		if r.Kind != rule.MatchMD {
+			continue
+		}
+		var blocked []md.Violation
+		c.visitMDViolations(data, r.MD, func(v md.Violation) bool {
+			blocked = append(blocked, v)
+			return true
+		})
+		naive := md.Violations(data, master, r.MD)
+		if !reflect.DeepEqual(blocked, naive) {
+			t.Errorf("%s: blocked enumeration %v != naive %v", r.Name(), blocked, naive)
+		}
+		if len(naive) == 0 {
+			t.Errorf("%s: dirty figure1 input has no MD violations; test is vacuous", r.Name())
+		}
+	}
+}
+
+// TestGroupIndexStaysExact is the paranoia check behind the scheduler: after
+// a full pipeline run, every variable-CFD group index must agree exactly —
+// keys, members, order — with cfd.Groups recomputed from the final relation.
+func TestGroupIndexStaysExact(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		in := genInstance(seed)
+		e := New(in.relation(nil), nil, in.rules, DefaultOptions())
+		e.CRepair()
+		e.ERepair()
+		e.HRepair()
+		for ri, r := range e.rules {
+			gi := e.sched.gidx[ri]
+			if gi == nil {
+				continue
+			}
+			want := cfd.Groups(e.data, r.CFD)
+			if len(gi.groups) != len(want) {
+				t.Fatalf("seed %d rule %s: index has %d groups, relation has %d",
+					seed, r.Name(), len(gi.groups), len(want))
+			}
+			for _, wg := range want {
+				g := gi.groups[wg.Key]
+				if g == nil || !reflect.DeepEqual(g.members, wg.Members) {
+					t.Fatalf("seed %d rule %s group %q: index members %v, want %v",
+						seed, r.Name(), wg.Key, g, wg.Members)
+				}
+			}
+		}
+	}
+}

@@ -33,27 +33,57 @@ type matcher struct {
 	tree      *suffixtree.Tree
 	treeIDs   [][]int // suffix-tree string id -> master tuple indexes
 
+	// Lookup scratch, reused across probes so the hot path does not
+	// allocate per tuple: idsBuf backs the candidate list, allIDs is the
+	// identity list the index-less fallback scans, and seen/seenGen dedupe
+	// candidates produced by several blocking keys (first occurrence wins,
+	// preserving the verification order) so no master tuple is verified
+	// twice for one probe.
+	idsBuf  []int
+	allIDs  []int
+	seen    []uint64
+	seenGen uint64
+
 	stats MatchStats
+}
+
+// eqClauses returns the data- and master-side attributes of an MD's
+// equality clauses — the premise part an exact-match blocking index can key
+// on.
+func eqClauses(m *md.MD) (data, master []int) {
+	for _, cl := range m.LHS {
+		if cl.Pred.Exact {
+			data = append(data, cl.DataAttr)
+			master = append(master, cl.MasterAttr)
+		}
+	}
+	return data, master
+}
+
+// buildEqIndex indexes the master relation by its projection on attrs. The
+// buckets hold ascending tuple indexes, which blocked enumerations rely on
+// to preserve the (T, S) order of a nested scan.
+func buildEqIndex(master *relation.Relation, attrs []int) map[string][]int {
+	idx := make(map[string][]int, master.Len())
+	for j, s := range master.Tuples {
+		key := s.Key(attrs)
+		idx[key] = append(idx[key], j)
+	}
+	return idx
 }
 
 func newMatcher(m *md.MD, master *relation.Relation) *matcher {
 	x := &matcher{m: m, master: master, simData: -1}
 	x.stats.MasterSize = master.Len()
+	x.eqDataAttrs, x.eqMasterAttrs = eqClauses(m)
 	for _, cl := range m.LHS {
-		if cl.Pred.Exact {
-			x.eqDataAttrs = append(x.eqDataAttrs, cl.DataAttr)
-			x.eqMasterAttrs = append(x.eqMasterAttrs, cl.MasterAttr)
-		} else if k, ok := cl.Pred.EditThreshold(); ok && x.simData < 0 {
+		if k, ok := cl.Pred.EditThreshold(); ok && !cl.Pred.Exact && x.simData < 0 {
 			x.simData, x.simMaster, x.simK = cl.DataAttr, cl.MasterAttr, k
 		}
 	}
 	switch {
 	case len(x.eqDataAttrs) > 0:
-		x.eqIndex = make(map[string][]int, master.Len())
-		for j, s := range master.Tuples {
-			key := s.Key(x.eqMasterAttrs)
-			x.eqIndex[key] = append(x.eqIndex[key], j)
-		}
+		x.eqIndex = buildEqIndex(master, x.eqMasterAttrs)
 	case x.simData >= 0:
 		x.tree = suffixtree.New()
 		byValue := make(map[string]int)
@@ -98,31 +128,48 @@ func (x *matcher) probe(t *relation.Tuple, topL int) []int {
 }
 
 // block returns the raw candidate ids for t from the blocking indexes, and
-// whether it had to fall back to a full scan of the master relation.
+// whether it had to fall back to a full scan of the master relation. The
+// returned slice is only valid until the next block call: the equality path
+// aliases the index bucket, the suffix-tree path reuses the matcher's
+// candidate buffer, and the fallback returns a shared identity list built
+// once.
 func (x *matcher) block(t *relation.Tuple, topL int) (ids []int, fullScan bool) {
 	switch {
 	case x.eqIndex != nil:
-		ids = x.eqIndex[t.Key(x.eqDataAttrs)]
+		return x.eqIndex[t.Key(x.eqDataAttrs)], false
 	case x.tree != nil:
 		v := t.Values[x.simData]
 		if relation.IsNull(v) {
 			return nil, false
 		}
+		if x.seen == nil {
+			x.seen = make([]uint64, x.master.Len())
+		}
+		x.seenGen++
+		ids = x.idsBuf[:0]
 		// Partition v into K+1 contiguous pieces: at most K edits touch at
 		// most K pieces, so edit(u, v) <= K implies u contains one piece
 		// unchanged — a common substring of length >= floor(|v|/(K+1)).
 		minLen := len(v) / (x.simK + 1)
 		for _, mt := range x.tree.TopL(v, topL, minLen) {
-			ids = append(ids, x.treeIDs[mt.ID]...)
+			for _, j := range x.treeIDs[mt.ID] {
+				if x.seen[j] != x.seenGen {
+					x.seen[j] = x.seenGen
+					ids = append(ids, j)
+				}
+			}
 		}
+		x.idsBuf = ids
+		return ids, false
 	default:
-		ids = make([]int, x.master.Len())
-		for j := range ids {
-			ids[j] = j
+		if x.allIDs == nil {
+			x.allIDs = make([]int, x.master.Len())
+			for j := range x.allIDs {
+				x.allIDs[j] = j
+			}
 		}
-		fullScan = true
+		return x.allIDs, true
 	}
-	return ids, fullScan
 }
 
 // verify filters candidate ids down to those on which the full premise

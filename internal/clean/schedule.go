@@ -1,0 +1,379 @@
+package clean
+
+import (
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// This file implements the incremental fixpoint core: instead of re-applying
+// every rule to every tuple on every round, the engine maintains (1) a
+// reverse dependency map from attributes to the rules whose premise or
+// conclusion reads them, (2) a persistent per-rule group index for variable
+// CFDs, kept in sync under every engine write rather than rebuilt by
+// cfd.Groups each round, and (3) per-phase worklists of dirty tuples and
+// groups. The first round of each phase seeds the worklist with everything;
+// afterwards a rule is handed exactly the tuples/groups whose read attributes
+// were written since the rule last saw them.
+//
+// Correctness rests on a quiescence argument checked by the equivalence
+// property suite: a tuple or group none of whose read cells (value,
+// confidence or mark) changed since a rule last processed it cannot newly
+// fire that rule — re-processing it is a no-op that records nothing — so
+// skipping it leaves Fixes, Asserts, Conflicts and the certified Report
+// byte-for-byte identical to the full-rescan reference (Options.Rescan).
+
+// Worklist consumer phases. cRepair and hRepair each consume tuple- and
+// group-level dirtiness independently; eRepair consumes group-level
+// dirtiness only (it re-keys affected groups in its entropy tree).
+const (
+	phaseC = iota
+	phaseE
+	phaseH
+	numPhases
+)
+
+// igroup is one LHS-equal group of a variable CFD in the persistent index.
+// Members are tuple indexes kept sorted ascending, matching the relation
+// order that cfd.Groups produces.
+type igroup struct {
+	key     string
+	members []int
+}
+
+func (g *igroup) insert(i int) {
+	k := sort.SearchInts(g.members, i)
+	g.members = append(g.members, 0)
+	copy(g.members[k+1:], g.members[k:])
+	g.members[k] = i
+}
+
+func (g *igroup) remove(i int) {
+	k := sort.SearchInts(g.members, i)
+	if k < len(g.members) && g.members[k] == i {
+		g.members = append(g.members[:k], g.members[k+1:]...)
+	}
+}
+
+// groupIndex is the persistent LHS-key -> members index of one variable CFD,
+// equivalent at every instant to cfd.Groups over the current relation state.
+// It additionally tracks, per consumer phase, the keys of groups touched by
+// a write since that phase last took them.
+type groupIndex struct {
+	c      *cfd.CFD
+	member []bool   // per tuple: currently matches the LHS pattern
+	key    []string // per tuple: current group key, valid when member
+	groups map[string]*igroup
+	dirty  [numPhases]map[string]bool
+}
+
+func newGroupIndex(c *cfd.CFD, d *relation.Relation) *groupIndex {
+	gi := &groupIndex{
+		c:      c,
+		member: make([]bool, d.Len()),
+		key:    make([]string, d.Len()),
+		groups: make(map[string]*igroup),
+	}
+	for p := range gi.dirty {
+		gi.dirty[p] = make(map[string]bool)
+	}
+	for i, t := range d.Tuples {
+		if c.MatchLHS(t) {
+			gi.place(i, t.Key(c.LHS))
+		}
+	}
+	return gi
+}
+
+func (gi *groupIndex) place(i int, key string) {
+	g := gi.groups[key]
+	if g == nil {
+		g = &igroup{key: key}
+		gi.groups[key] = g
+	}
+	g.insert(i)
+	gi.member[i], gi.key[i] = true, key
+}
+
+func (gi *groupIndex) markDirty(key string) {
+	for p := range gi.dirty {
+		gi.dirty[p][key] = true
+	}
+}
+
+// update re-derives tuple i's membership after a write to attribute a and
+// marks the affected group keys dirty for every consumer phase. Confidence-
+// and mark-only writes (asserts) keep the key but still dirty the group,
+// since they change premise trust and resolution choices.
+func (gi *groupIndex) update(i, a int, t *relation.Tuple) {
+	if hasAttr(gi.c.LHS, a) {
+		newMember := gi.c.MatchLHS(t)
+		newKey := ""
+		if newMember {
+			newKey = t.Key(gi.c.LHS)
+		}
+		switch {
+		case newMember != gi.member[i] || (newMember && newKey != gi.key[i]):
+			if gi.member[i] {
+				old := gi.groups[gi.key[i]]
+				old.remove(i)
+				if len(old.members) == 0 {
+					delete(gi.groups, old.key)
+				}
+				gi.markDirty(gi.key[i])
+			}
+			gi.member[i], gi.key[i] = false, ""
+			if newMember {
+				gi.place(i, newKey)
+				gi.markDirty(newKey)
+			}
+		case gi.member[i]:
+			gi.markDirty(gi.key[i])
+		}
+	}
+	if a == gi.c.RHS && gi.member[i] {
+		gi.markDirty(gi.key[i])
+	}
+}
+
+// takeKeys drains and returns the dirty group keys of one consumer phase.
+func (gi *groupIndex) takeKeys(phase int) []string {
+	if len(gi.dirty[phase]) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(gi.dirty[phase]))
+	for k := range gi.dirty[phase] {
+		out = append(out, k)
+	}
+	gi.dirty[phase] = make(map[string]bool)
+	return out
+}
+
+// scheduler is the engine's worklist state: the reverse dependency map and,
+// per rule, either a persistent group index (variable CFDs) or per-phase
+// dirty tuple sets (constant CFDs and MDs).
+type scheduler struct {
+	rules     []rule.Rule
+	attrRules [][]int       // attribute -> indexes of rules reading it
+	gidx      []*groupIndex // parallel to rules; nil unless VariableCFD
+	lhsSet    []map[int]bool
+	dirtyC    []map[int]bool
+	dirtyH    []map[int]bool
+
+	// attrHExtra maps an attribute to the variable-CFD rules whose hRepair
+	// target choice reads it indirectly: hTarget breaks ties by master-data
+	// support, probing the MD blocking indexes with the group members'
+	// premise cells. A write to an MD premise attribute can therefore flip
+	// the repair target of a variable CFD whose RHS that MD writes, even
+	// though the attribute is in neither the CFD's LHS nor RHS — so it must
+	// re-enqueue the member's group for the hRepair consumer.
+	attrHExtra [][]int
+
+	// The per-tuple applier currently running, or activeRule < 0. A write
+	// by a per-tuple rule to a pure-conclusion attribute (one not in its own
+	// premise) of the tuple it is processing is not re-enqueued for that
+	// rule in the writing phase: the applier runs its full switch, so
+	// re-processing the tuple unchanged is a no-op — the written cell now
+	// matches the target and is frozen or budget-tracked, and conflicts are
+	// deduplicated. Writes to premise attributes, writes to other tuples,
+	// and the other phase's marks are never skipped.
+	activePhase, activeRule, activeTuple int
+}
+
+// newScheduler computes the reverse dependency map once from the ordered rule
+// set and builds the variable-CFD group indexes over the (cloned) data. A
+// rule "reads" its premise attributes and its conclusion attribute: a write
+// to either can change whether and how the rule fires on the tuple.
+func newScheduler(rules []rule.Rule, d *relation.Relation) *scheduler {
+	s := &scheduler{
+		rules:      rules,
+		attrRules:  make([][]int, d.Schema.Arity()),
+		gidx:       make([]*groupIndex, len(rules)),
+		lhsSet:     make([]map[int]bool, len(rules)),
+		dirtyC:     make([]map[int]bool, len(rules)),
+		dirtyH:     make([]map[int]bool, len(rules)),
+		activeRule: -1,
+	}
+	for ri, r := range rules {
+		s.lhsSet[ri] = make(map[int]bool)
+		for _, a := range r.LHSAttrs() {
+			s.lhsSet[ri][a] = true
+		}
+		reads := make(map[int]bool)
+		for a := range s.lhsSet[ri] {
+			reads[a] = true
+		}
+		for _, a := range r.RHSAttrs() {
+			reads[a] = true
+		}
+		for a := range reads {
+			s.attrRules[a] = append(s.attrRules[a], ri)
+		}
+		if r.Kind == rule.VariableCFD {
+			s.gidx[ri] = newGroupIndex(r.CFD, d)
+		} else {
+			s.dirtyC[ri] = make(map[int]bool)
+			s.dirtyH[ri] = make(map[int]bool)
+		}
+	}
+	s.attrHExtra = make([][]int, d.Schema.Arity())
+	for ri, r := range rules {
+		if r.Kind != rule.VariableCFD {
+			continue
+		}
+		for _, m := range rules {
+			if m.Kind != rule.MatchMD {
+				continue
+			}
+			writesRHS := false
+			for _, p := range m.MD.RHS {
+				if p.DataAttr == r.CFD.RHS {
+					writesRHS = true
+				}
+			}
+			if !writesRHS {
+				continue
+			}
+			for _, cl := range m.MD.LHS {
+				a := cl.DataAttr
+				if s.lhsSet[ri][a] || a == r.CFD.RHS || hasAttr(s.attrHExtra[a], ri) {
+					continue // already a direct read, or already recorded
+				}
+				s.attrHExtra[a] = append(s.attrHExtra[a], ri)
+			}
+		}
+	}
+	return s
+}
+
+// setActive marks the per-tuple applier about to run; clearActive ends it.
+func (s *scheduler) setActive(phase, ri, i int) {
+	s.activePhase, s.activeRule, s.activeTuple = phase, ri, i
+}
+
+func (s *scheduler) clearActive() { s.activeRule = -1 }
+
+// noteWrite propagates one cell write (i, a) — value, confidence or mark —
+// to every rule reading a: per-tuple rules get the tuple enqueued for both
+// the cRepair and hRepair consumers; variable CFDs get their group index
+// updated and the affected groups marked dirty for all phases.
+func (s *scheduler) noteWrite(i, a int, t *relation.Tuple) {
+	for _, ri := range s.attrRules[a] {
+		if gi := s.gidx[ri]; gi != nil {
+			gi.update(i, a, t)
+			continue
+		}
+		// hRepair only repairs CFD violations, so MD rules get no phaseH
+		// marks — HRepair would never drain them.
+		markC, markH := true, s.rules[ri].Kind == rule.ConstantCFD
+		if ri == s.activeRule && i == s.activeTuple && !s.lhsSet[ri][a] {
+			// Self-write to a pure-conclusion attribute: skip only the
+			// writing phase's mark (see the activeRule field doc).
+			if s.activePhase == phaseC {
+				markC = false
+			} else {
+				markH = false
+			}
+		}
+		if markC {
+			s.dirtyC[ri][i] = true
+		}
+		if markH {
+			s.dirtyH[ri][i] = true
+		}
+	}
+	// Indirect hRepair reads: the write may flip a master tie-break for a
+	// variable CFD whose groups do not otherwise read this attribute.
+	for _, ri := range s.attrHExtra[a] {
+		if gi := s.gidx[ri]; gi.member[i] {
+			gi.dirty[phaseH][gi.key[i]] = true
+		}
+	}
+}
+
+func (s *scheduler) tupleSet(phase, ri int) map[int]bool {
+	if phase == phaseH {
+		return s.dirtyH[ri]
+	}
+	return s.dirtyC[ri]
+}
+
+// takeTuples drains the dirty tuples of a per-tuple rule for one consumer
+// phase, in ascending tuple order — the order a full scan visits them.
+func (s *scheduler) takeTuples(phase, ri int) []int {
+	set := s.tupleSet(phase, ri)
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	s.clearTuples(phase, ri)
+	return out
+}
+
+// clearTuples drops the phase's dirty marks for a per-tuple rule; a full
+// scan about to visit every tuple calls it so the marks it covers are not
+// re-processed next round.
+func (s *scheduler) clearTuples(phase, ri int) {
+	if phase == phaseH {
+		s.dirtyH[ri] = make(map[int]bool)
+	} else {
+		s.dirtyC[ri] = make(map[int]bool)
+	}
+}
+
+// takeGroups drains the dirty groups of a variable CFD for one consumer
+// phase and returns snapshots of their member lists, ordered by first member
+// — the order cfd.Groups yields them. Keys whose group dissolved since being
+// marked are skipped.
+func (s *scheduler) takeGroups(phase, ri int) [][]int {
+	gi := s.gidx[ri]
+	keys := gi.takeKeys(phase)
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		if g := gi.groups[k]; g != nil && len(g.members) > 0 {
+			out = append(out, append([]int(nil), g.members...))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// clearGroups drops the phase's dirty group marks of a variable CFD before a
+// full scan covers them.
+func (s *scheduler) clearGroups(phase, ri int) {
+	s.gidx[ri].dirty[phase] = make(map[string]bool)
+}
+
+// allGroups snapshots every group of a variable CFD, ordered by first
+// member — the listing the seeding rounds iterate instead of re-grouping
+// the whole relation with cfd.Groups. It is identical to that grouping at
+// every instant (TestGroupIndexStaysExact pins this).
+func (s *scheduler) allGroups(ri int) [][]int {
+	gi := s.gidx[ri]
+	out := make([][]int, 0, len(gi.groups))
+	for _, g := range gi.groups {
+		out = append(out, append([]int(nil), g.members...))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// resetE clears the eRepair consumer's group marks for every variable CFD.
+// ERepair calls it before seeding its entropy tree from scratch, so that the
+// marks it consumes afterwards reflect only its own resolutions.
+func (s *scheduler) resetE() {
+	for _, gi := range s.gidx {
+		if gi != nil {
+			gi.dirty[phaseE] = make(map[string]bool)
+		}
+	}
+}

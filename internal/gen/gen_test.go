@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/rule"
+)
+
+// TestGenerateDeterministic: equal configs must yield cell-identical
+// instances — the benchmark gate depends on it.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Tuples: 500, MasterSize: 100, ErrorRate: 0.1, RuleFanout: 2, Seed: 7}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.Data.DiffCells(b.Data) != 0 || a.Master.DiffCells(b.Master) != 0 {
+		t.Fatal("same seed generated different relations")
+	}
+	if a.Dirtied != b.Dirtied || a.Stubborn != b.Stubborn || len(a.Rules) != len(b.Rules) {
+		t.Fatalf("same seed generated different metadata: %+v vs %+v", a, b)
+	}
+	if c := Generate(Config{Tuples: 500, MasterSize: 100, ErrorRate: 0.1, RuleFanout: 2, Seed: 8}); a.Data.DiffCells(c.Data) == 0 {
+		t.Fatal("different seeds generated identical data")
+	}
+}
+
+// TestGenerateCleanWorldIsConsistent: at zero error rate the instance must
+// satisfy every generated rule — the dirt comes only from injection.
+func TestGenerateCleanWorldIsConsistent(t *testing.T) {
+	inst := Generate(Config{Tuples: 1000, MasterSize: 200, ErrorRate: 0, RuleFanout: 3, Seed: 3})
+	if inst.Dirtied != 0 {
+		t.Fatalf("Dirtied = %d at zero error rate", inst.Dirtied)
+	}
+	for _, r := range inst.Rules {
+		switch r.Kind {
+		case rule.MatchMD:
+			if !md.Satisfies(inst.Data, inst.Master, r.MD) {
+				t.Errorf("clean world violates %s", r.Name())
+			}
+		default:
+			if !cfd.Satisfies(inst.Data, r.CFD) {
+				t.Errorf("clean world violates %s", r.Name())
+			}
+		}
+	}
+}
+
+// TestGenerateErrorRate: the injected error count must track the configured
+// rate over the dirtiable cells (5 per tuple), and some dirt must be
+// stubborn (trusted wrong values) so eRepair/hRepair have work.
+func TestGenerateErrorRate(t *testing.T) {
+	inst := Generate(Config{Tuples: 5000, MasterSize: 500, ErrorRate: 0.05, RuleFanout: 3, Seed: 1, StubbornRate: 0.1})
+	want := float64(5000*5) * 0.05
+	if got := float64(inst.Dirtied); got < want*0.8 || got > want*1.2 {
+		t.Errorf("Dirtied = %d, want about %.0f", inst.Dirtied, want)
+	}
+	if inst.Stubborn == 0 || inst.Stubborn >= inst.Dirtied {
+		t.Errorf("Stubborn = %d of %d dirtied, want a strict nonzero fraction", inst.Stubborn, inst.Dirtied)
+	}
+	clean := true
+	for _, r := range inst.Rules {
+		if r.Kind != rule.MatchMD && !cfd.Satisfies(inst.Data, r.CFD) {
+			clean = false
+		}
+	}
+	if clean {
+		t.Error("5% dirty instance satisfies all CFDs; injection did not create violations")
+	}
+}
