@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"reflect"
+	"runtime"
 	"time"
 
 	"repro/internal/clean"
@@ -16,7 +17,10 @@ import (
 // deterministic work measure (rule-applier tuple visits, see
 // clean.ApplyStats); the nanosecond timings are recorded for the perf
 // trajectory but are machine-dependent, so the regression gate compares
-// visits, not wall-clock.
+// visits, not wall-clock. The parallel run must agree with the sequential
+// incremental run down to the visit counters (a hard failure otherwise);
+// only the per-worker split of those visits is scheduling-dependent, so
+// WorkerVisits is reported and never gated.
 type benchReport struct {
 	Config            gen.Config
 	RescanNs          int64
@@ -25,6 +29,11 @@ type benchReport struct {
 	RescanVisits      int
 	IncrementalVisits int
 	VisitRatio        float64 // RescanVisits / IncrementalVisits
+	Workers           int     // effective worker count of the parallel run
+	ParallelNs        int64
+	ParallelSpeedup   float64 // IncrementalNs / ParallelNs, same process and machine
+	ParallelVisits    int     // must equal IncrementalVisits
+	WorkerVisits      []int64 // per-worker propose visits; nondeterministic split
 	Fixes             int
 	Asserts           int
 	Conflicts         int
@@ -37,13 +46,14 @@ type benchReport struct {
 const maxVisitRegression = 1.20
 
 // runBench generates the configured synthetic instance, runs the full
-// pipeline once per scheduler mode, writes the JSON report, and enforces the
-// baseline gate when one is given.
-func runBench(cfg gen.Config, outPath, baselinePath string, stderr io.Writer) error {
+// pipeline once per engine mode — full-rescan reference, sequential
+// incremental, parallel incremental with the requested worker count —
+// writes the JSON report, and enforces the baseline gate when one is given.
+func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr io.Writer) error {
 	inst := gen.Generate(cfg)
 	opts := clean.DefaultOptions()
 
-	opts.Rescan = true
+	opts.Rescan, opts.Workers = true, 1
 	t0 := time.Now()
 	ref := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
 	rescanNs := time.Since(t0).Nanoseconds()
@@ -53,18 +63,32 @@ func runBench(cfg gen.Config, outPath, baselinePath string, stderr io.Writer) er
 	inc := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
 	incrementalNs := time.Since(t0).Nanoseconds()
 
-	// The two schedulers must agree fix-for-fix; a benchmark that measures
-	// two different computations is worthless, so this is a hard failure.
-	// The comparison is deep — full fix records in order, conflicts, the
-	// certified report, and the repaired cells — because this workload (MDs
-	// plus master data) is exactly the shape the nil-master property corpus
-	// does not cover.
-	if !reflect.DeepEqual(inc.Fixes, ref.Fixes) || inc.Asserts != ref.Asserts ||
-		!reflect.DeepEqual(inc.Conflicts, ref.Conflicts) ||
-		inc.Report.String() != ref.Report.String() ||
-		inc.Data.DiffCells(ref.Data) != 0 {
-		return fmt.Errorf("bench: incremental and rescan engines disagree (%d vs %d fixes, %d vs %d asserts, %d differing cells)",
-			len(inc.Fixes), len(ref.Fixes), inc.Asserts, ref.Asserts, inc.Data.DiffCells(ref.Data))
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts.Workers = workers
+	t0 = time.Now()
+	par := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
+	parallelNs := time.Since(t0).Nanoseconds()
+
+	// The engines must agree fix-for-fix; a benchmark that measures
+	// different computations is worthless, so disagreement is a hard
+	// failure. The comparison is deep — full fix records in order,
+	// conflicts, the certified report, and the repaired cells — because
+	// this workload (MDs plus master data) is exactly the shape the
+	// nil-master property corpus does not cover.
+	if err := diffRuns("incremental", "rescan", inc, ref); err != nil {
+		return err
+	}
+	// The parallel engine additionally must match the sequential visit
+	// counters exactly: it shards the same worklists, so any drift means
+	// the merge replayed different work, not just scheduled it elsewhere.
+	if err := diffRuns("parallel", "incremental", par, inc); err != nil {
+		return err
+	}
+	if par.TotalVisits() != inc.TotalVisits() {
+		return fmt.Errorf("bench: parallel visits %d != incremental visits %d",
+			par.TotalVisits(), inc.TotalVisits())
 	}
 
 	rep := benchReport{
@@ -74,6 +98,11 @@ func runBench(cfg gen.Config, outPath, baselinePath string, stderr io.Writer) er
 		Speedup:           float64(rescanNs) / float64(incrementalNs),
 		RescanVisits:      ref.TotalVisits(),
 		IncrementalVisits: inc.TotalVisits(),
+		Workers:           workers,
+		ParallelNs:        parallelNs,
+		ParallelSpeedup:   float64(incrementalNs) / float64(parallelNs),
+		ParallelVisits:    par.TotalVisits(),
+		WorkerVisits:      par.WorkerVisits,
 		Fixes:             len(inc.Fixes),
 		Asserts:           inc.Asserts,
 		Conflicts:         len(inc.Conflicts),
@@ -90,12 +119,14 @@ func runBench(cfg gen.Config, outPath, baselinePath string, stderr io.Writer) er
 	}
 	fmt.Fprintf(stderr, "bench: %d tuples, %d dirtied cells, %d fixes\n",
 		cfg.Tuples, inst.Dirtied, rep.Fixes)
-	fmt.Fprintf(stderr, "bench: rescan      %8.1fms  %9d visits\n",
+	fmt.Fprintf(stderr, "bench: rescan        %8.1fms  %9d visits\n",
 		float64(rescanNs)/1e6, rep.RescanVisits)
-	fmt.Fprintf(stderr, "bench: incremental %8.1fms  %9d visits\n",
+	fmt.Fprintf(stderr, "bench: incremental   %8.1fms  %9d visits\n",
 		float64(incrementalNs)/1e6, rep.IncrementalVisits)
-	fmt.Fprintf(stderr, "bench: speedup %.2fx, visit ratio %.2fx, report written to %s\n",
-		rep.Speedup, rep.VisitRatio, outPath)
+	fmt.Fprintf(stderr, "bench: parallel(%2d)  %8.1fms  %9d visits %v\n",
+		workers, float64(parallelNs)/1e6, rep.ParallelVisits, rep.WorkerVisits)
+	fmt.Fprintf(stderr, "bench: speedup %.2fx, visit ratio %.2fx, parallel speedup %.2fx, report written to %s\n",
+		rep.Speedup, rep.VisitRatio, rep.ParallelSpeedup, outPath)
 
 	if baselinePath == "" {
 		return nil
@@ -105,6 +136,20 @@ func runBench(cfg gen.Config, outPath, baselinePath string, stderr io.Writer) er
 		return err
 	}
 	return checkBaseline(rep, base, stderr)
+}
+
+// diffRuns fails when two engine runs over the same instance differ in any
+// observable way: fixes, asserts, conflicts, certified report, or repaired
+// cells.
+func diffRuns(got, want string, a, b *clean.Result) error {
+	if !reflect.DeepEqual(a.Fixes, b.Fixes) || a.Asserts != b.Asserts ||
+		!reflect.DeepEqual(a.Conflicts, b.Conflicts) ||
+		a.Report.String() != b.Report.String() ||
+		a.Data.DiffCells(b.Data) != 0 {
+		return fmt.Errorf("bench: %s and %s engines disagree (%d vs %d fixes, %d vs %d asserts, %d differing cells)",
+			got, want, len(a.Fixes), len(b.Fixes), a.Asserts, b.Asserts, a.Data.DiffCells(b.Data))
+	}
+	return nil
 }
 
 func readBaseline(path string) (benchReport, error) {

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv] [-certify]
-//	uniclean -bench [-bench.tuples N] [-bench.dirty R] [-bench.seed S] [-bench.baseline bench/baseline.json]
+//	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv] [-certify] [-workers N]
+//	uniclean -bench [-bench.tuples N] [-bench.dirty R] [-bench.seed S] [-workers N] [-bench.baseline bench/baseline.json]
 //
 // The repaired relation is written as CSV to -out ("-" for stdout); the
 // cleaning report — fix counts, matcher statistics, conflicts and the
@@ -14,11 +14,14 @@
 // dirty.
 //
 // With -bench, the tool instead generates a synthetic dirty instance
-// (internal/gen), runs the pipeline once with the full-rescan reference
-// scheduler and once with the delta-driven one, writes a BENCH_<sha>.json
-// report with timings and deterministic visit counters, and — when
-// -bench.baseline is given — fails if the visit counters regressed more
-// than 20% against the committed baseline.
+// (internal/gen), runs the pipeline with the full-rescan reference
+// scheduler, the sequential delta-driven one, and the parallel applier
+// pool (-workers, default GOMAXPROCS), writes a BENCH_<sha>.json report
+// with timings, deterministic visit counters and the per-worker visit
+// split, and — when -bench.baseline is given — fails if the visit
+// counters regressed more than 20% against the committed baseline. The
+// three runs must agree fix-for-fix, and the parallel run must reproduce
+// the sequential visit counters exactly; either mismatch is a hard error.
 //
 // Exit status distinguishes failure modes: 0 when the output satisfies
 // every rule, 1 on usage, I/O or rule-parsing errors, and 2 when cleaning
@@ -82,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	certify := fs.Bool("certify", false, "print the checker's violation report when the output is still dirty")
 	verbose := fs.Bool("v", false, "list every fix in the report")
 	rescan := fs.Bool("rescan", false, "use the full-rescan reference scheduler instead of the delta-driven one")
+	workers := fs.Int("workers", 0, "parallel applier workers (0 = GOMAXPROCS, 1 = sequential); any value yields identical fixes and repaired output")
 	bench := fs.Bool("bench", false, "run the synthetic benchmark instead of cleaning CSV input")
 	benchTuples := fs.Int("bench.tuples", 10000, "bench: data relation size")
 	benchMaster := fs.Int("bench.master", 1000, "bench: master relation size")
@@ -105,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if out == "" {
 			out = fmt.Sprintf("BENCH_%s.json", benchSHA(*benchSha))
 		}
-		return runBench(cfg, out, *benchBaseline, stderr)
+		return runBench(cfg, *workers, out, *benchBaseline, stderr)
 	}
 	if *dataPath == "" || *rulesPath == "" {
 		fs.Usage()
@@ -154,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	res := clean.Run(data, master, rules,
-		clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan})
+		clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan, Workers: *workers})
 
 	out := stdout
 	if *outPath != "-" {
@@ -206,6 +210,10 @@ func report(w io.Writer, data, master *relation.Relation, rules []rule.Rule, res
 		marks[relation.FixNone], marks[relation.FixDeterministic],
 		marks[relation.FixReliable], marks[relation.FixPossible])
 	fmt.Fprintf(w, "scheduler: %d applier tuple visits\n", res.TotalVisits())
+	if len(res.WorkerVisits) > 0 {
+		fmt.Fprintf(w, "parallel: %d workers, propose visits %v\n",
+			len(res.WorkerVisits), res.WorkerVisits)
+	}
 	names := make([]string, 0, len(res.Match))
 	for name := range res.Match {
 		names = append(names, name)

@@ -79,22 +79,32 @@ func BenchmarkERepair(b *testing.B) {
 }
 
 // BenchmarkRunIncremental measures the full pipeline with the delta-driven
-// scheduler on the 10k-tuple / 5%-dirty generator config — the headline
-// number the CI gate tracks.
+// scheduler (sequential) on the 10k-tuple / 5%-dirty generator config — the
+// headline number the CI gate tracks.
 func BenchmarkRunIncremental(b *testing.B) {
-	benchmarkRun(b, false)
+	benchmarkRun(b, false, 1)
 }
 
 // BenchmarkRunRescan measures the full-rescan reference on the same
 // workload, so the speedup is a recorded ratio, not a claim.
 func BenchmarkRunRescan(b *testing.B) {
-	benchmarkRun(b, true)
+	benchmarkRun(b, true, 1)
 }
 
-func benchmarkRun(b *testing.B, rescan bool) {
+// BenchmarkRunParallel measures the delta-driven engine with the applier
+// pool at GOMAXPROCS workers on the same workload. On a single-core runner
+// it degenerates to the sequential path (the pool is only built for an
+// effective worker count above 1), so compare it against
+// BenchmarkRunIncremental on the same machine.
+func BenchmarkRunParallel(b *testing.B) {
+	benchmarkRun(b, false, 0)
+}
+
+func benchmarkRun(b *testing.B, rescan bool, workers int) {
 	inst := gen.Generate(gen.DefaultConfig())
 	opts := DefaultOptions()
 	opts.Rescan = rescan
+	opts.Workers = workers
 	b.ReportAllocs()
 	b.ResetTimer()
 	var visits int

@@ -28,6 +28,7 @@ type Violation struct {
 	Detail string
 }
 
+// String returns the violation's human-readable detail line.
 func (v Violation) String() string { return v.Detail }
 
 // maxStoredPerRule bounds how many violations of one rule a Report

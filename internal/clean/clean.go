@@ -19,6 +19,7 @@ package clean
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/avl"
 	"repro/internal/relation"
@@ -61,6 +62,29 @@ type Options struct {
 	// produce fix-for-fix identical Results; Rescan exists as the
 	// correctness reference and the benchmark baseline.
 	Rescan bool
+	// Workers bounds the applier worker pool: each rule's worklist is
+	// sharded across Workers goroutines that propose fixes concurrently,
+	// and the proposals are committed through a single deterministic merge
+	// (see parallel.go), so any Workers value produces fix-for-fix
+	// identical Results — same Fixes order, Asserts, Conflicts, Rounds,
+	// work counters and certified Report. 0 means GOMAXPROCS; 1 disables
+	// the pool. The Rescan reference engine is always sequential and
+	// ignores Workers.
+	Workers int
+}
+
+// workerCount resolves Options.Workers to the effective pool size.
+func (o Options) workerCount() int {
+	if o.Rescan {
+		return 1
+	}
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultOptions returns the thresholds used in the paper's experiments.
@@ -77,6 +101,7 @@ type Fix struct {
 	Rule      string // name of the rule that produced the fix
 }
 
+// String renders the fix as "tN[attr]: old -> new (conf, mark, rule)".
 func (f Fix) String() string {
 	return fmt.Sprintf("t%d[%s]: %q -> %q (conf %.2f, %s, %s)",
 		f.Tuple, f.Attribute, f.Old, f.New, f.Conf, f.Mark, f.Rule)
@@ -136,6 +161,12 @@ type Result struct {
 	// Report is the Checker's certification of Data against the rule set:
 	// the structured violations behind Resolved/Unresolved.
 	Report *Report
+	// WorkerVisits records, per pool worker, the applier tuple visits that
+	// worker proposed. Nil when the pool was off (Workers <= 1). The sum is
+	// at most TotalVisits — trivial worklists run inline on the merge
+	// goroutine — and the split across workers depends on runtime
+	// scheduling, so it is reported (uniclean -bench) but never gated.
+	WorkerVisits []int64
 }
 
 // FixesMarked returns the subset of Fixes carrying the given mark, i.e. the
@@ -192,6 +223,10 @@ type Engine struct {
 	cSeeded bool          // cRepair's first round (visit everything) has run
 	hSeeded bool          // hRepair's first round has run
 
+	ap     *applier // the canonical direct-commit applier (see parallel.go)
+	pool   *pool    // worker pool; nil when the effective worker count is 1
+	allIDs []int    // cached identity worklist for full-visit rounds
+
 	// eRepair's entropy tree, persistent across outer passes in delta mode:
 	// later ERepair calls re-key only the groups extracted last call (eredo)
 	// plus the groups written since, instead of re-seeding from scratch.
@@ -230,6 +265,10 @@ func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engi
 		// never reads would bill the rescan baseline for delta-engine
 		// bookkeeping and flatter the measured speedup.
 		e.sched = newScheduler(e.rules, e.data)
+	}
+	e.ap = &applier{e: e, matchers: e.matchers}
+	if n := opts.workerCount(); n > 1 {
+		e.pool = newPool(e, n)
 	}
 	return e
 }
@@ -293,6 +332,9 @@ func Run(data, master *relation.Relation, rules []rule.Rule, opts Options) *Resu
 // returns the accumulated result.
 func (e *Engine) Finish() *Result {
 	e.res.Data = e.data
+	if e.pool != nil {
+		e.res.WorkerVisits = append([]int64(nil), e.pool.visits...)
+	}
 	e.res.Report = NewChecker(e.rules, e.master).Check(e.data)
 	for _, r := range e.rules {
 		if e.res.Report.RuleClean(r.Name()) {
@@ -302,6 +344,44 @@ func (e *Engine) Finish() *Result {
 		}
 	}
 	return e.res
+}
+
+// hbudget resolves the per-cell change budget of hRepair.
+func (e *Engine) hbudget() int {
+	if e.opts.HBudget > 0 {
+		return e.opts.HBudget
+	}
+	return DefaultHBudget
+}
+
+// spend consumes one unit of cell (i, a)'s hRepair change budget and
+// reports whether a unit was available. The budget map lives on the engine
+// so it spans the outer passes of Run: a cell hRepair gave up on is not
+// granted a fresh budget just because cRepair ran again.
+func (e *Engine) spend(i, a int) bool {
+	if e.hleft == nil {
+		e.hleft = make(map[[2]int]int)
+	}
+	k := [2]int{i, a}
+	left, ok := e.hleft[k]
+	if !ok {
+		left = e.hbudget()
+	}
+	if left == 0 {
+		return false
+	}
+	e.hleft[k] = left - 1
+	return true
+}
+
+// budgetLeft reads cell (i, a)'s remaining budget without consuming it —
+// the propose-side read, safe to run concurrently because all budget
+// writes are deferred to the commit step.
+func (e *Engine) budgetLeft(i, a int) int {
+	if left, ok := e.hleft[[2]int{i, a}]; ok {
+		return left
+	}
+	return e.hbudget()
 }
 
 // conflictf records a conflict once: an unresolvable conflict would

@@ -2,6 +2,7 @@ package clean
 
 import (
 	"repro/internal/cfd"
+	"repro/internal/md"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -17,7 +18,10 @@ import (
 // worklists); each later round hands a rule only the tuples and groups whose
 // read attributes were written since the rule last saw them, which is the
 // only place new firings can come from. With Options.Rescan, every round is
-// a full visit, as in the reference engine.
+// a full visit, as in the reference engine. With Options.Workers > 1, each
+// rule's visit is sharded across the worker pool and committed through the
+// deterministic merge (see parallel.go); rules still run one after another,
+// so the result is identical either way.
 func (e *Engine) CRepair() {
 	for {
 		e.res.Rounds++
@@ -45,73 +49,64 @@ func (e *Engine) CRepair() {
 // re-derives the grouping with cfd.Groups, which keeps it independent of
 // the index it is the oracle for.
 func (e *Engine) applyRuleFull(ri int, r rule.Rule) int {
-	progress := 0
 	switch r.Kind {
 	case rule.ConstantCFD:
 		if e.sched != nil {
 			e.sched.clearTuples(phaseC, ri)
 		}
-		for i := range e.data.Tuples {
-			e.setActive(phaseC, ri, i)
-			progress += e.applyConstantCFDTuple(ri, r, i)
-		}
-		e.clearActive()
+		return e.applyTuples(phaseC, ri, e.allTupleIDs(), func(ap *applier, i int) int {
+			return ap.constantCFDTuple(ri, r.CFD, i)
+		})
 	case rule.VariableCFD:
 		if e.sched != nil {
 			e.sched.clearGroups(phaseC, ri)
-			for _, members := range e.sched.allGroups(ri) {
-				progress += e.applyVariableCFDGroup(ri, r, members)
-			}
-		} else {
-			for _, g := range cfd.Groups(e.data, r.CFD) {
-				progress += e.applyVariableCFDGroup(ri, r, g.Members)
-			}
+			return e.applyGroups(phaseC, ri, e.sched.allGroups(ri), func(ap *applier, members []int) int {
+				return ap.variableCFDGroup(ri, r.CFD, members)
+			})
 		}
+		progress := 0
+		for _, g := range cfd.Groups(e.data, r.CFD) {
+			progress += e.ap.variableCFDGroup(ri, r.CFD, g.Members)
+		}
+		return progress
 	case rule.MatchMD:
 		if e.sched != nil {
 			e.sched.clearTuples(phaseC, ri)
 		}
-		for i := range e.data.Tuples {
-			e.setActive(phaseC, ri, i)
-			progress += e.applyMatchMDTuple(ri, r, i)
-		}
-		e.clearActive()
+		return e.applyTuples(phaseC, ri, e.allTupleIDs(), func(ap *applier, i int) int {
+			return ap.matchMDTuple(ri, r.MD, i)
+		})
 	}
-	return progress
+	return 0
 }
 
 // applyRuleDelta applies one rule to exactly the tuples/groups enqueued for
 // it since its last visit. Writes made while processing re-enqueue their
 // targets, so interacting rules still chase each other to the fixpoint.
 func (e *Engine) applyRuleDelta(ri int, r rule.Rule) int {
-	progress := 0
 	switch r.Kind {
 	case rule.ConstantCFD:
-		for _, i := range e.sched.takeTuples(phaseC, ri) {
-			e.setActive(phaseC, ri, i)
-			progress += e.applyConstantCFDTuple(ri, r, i)
-		}
-		e.clearActive()
+		return e.applyTuples(phaseC, ri, e.sched.takeTuples(phaseC, ri), func(ap *applier, i int) int {
+			return ap.constantCFDTuple(ri, r.CFD, i)
+		})
 	case rule.VariableCFD:
-		for _, members := range e.sched.takeGroups(phaseC, ri) {
-			progress += e.applyVariableCFDGroup(ri, r, members)
-		}
+		return e.applyGroups(phaseC, ri, e.sched.takeGroups(phaseC, ri), func(ap *applier, members []int) int {
+			return ap.variableCFDGroup(ri, r.CFD, members)
+		})
 	case rule.MatchMD:
-		for _, i := range e.sched.takeTuples(phaseC, ri) {
-			e.setActive(phaseC, ri, i)
-			progress += e.applyMatchMDTuple(ri, r, i)
-		}
-		e.clearActive()
+		return e.applyTuples(phaseC, ri, e.sched.takeTuples(phaseC, ri), func(ap *applier, i int) int {
+			return ap.matchMDTuple(ri, r.MD, i)
+		})
 	}
-	return progress
+	return 0
 }
 
-// applyConstantCFDTuple writes the pattern constant tp[A] to tuple i if it
+// constantCFDTuple writes the pattern constant tp[A] to tuple i if it
 // matches tp[X] and its premise cells are trusted (min confidence >= η), per
 // Section 3.1 rule (2).
-func (e *Engine) applyConstantCFDTuple(ri int, r rule.Rule, i int) int {
-	e.apply[ri].CTuples++
-	c := r.CFD
+func (ap *applier) constantCFDTuple(ri int, c *cfd.CFD, i int) int {
+	ap.stat(ri).CTuples++
+	e := ap.e
 	t := e.data.Tuples[i]
 	if !c.MatchLHS(t) {
 		return 0
@@ -122,24 +117,24 @@ func (e *Engine) applyConstantCFDTuple(ri int, r rule.Rule, i int) int {
 	}
 	switch {
 	case t.Values[c.RHS] == c.RHSPattern:
-		return e.assert(i, c.RHS, conf)
+		return ap.assert(i, c.RHS, conf)
 	case t.Marks[c.RHS] == relation.FixDeterministic:
-		e.conflictf("%s: t%d[%s] is frozen at %q, cannot write %q",
+		ap.conflictf("%s: t%d[%s] is frozen at %q, cannot write %q",
 			c.Name, i, e.data.Schema.Attrs[c.RHS], t.Values[c.RHS], c.RHSPattern)
 		return 0
 	default:
-		return e.fix(i, c.RHS, c.RHSPattern, conf, c.Name)
+		return ap.fix(i, c.RHS, c.RHSPattern, conf, c.Name)
 	}
 }
 
-// applyVariableCFDGroup propagates high-confidence RHS values within one
+// variableCFDGroup propagates high-confidence RHS values within one
 // LHS-equal group, per Section 3.1 rule (3): if the trusted cells of the
 // group agree on a value, every member whose premise is trusted is updated
 // to it. Groups whose trusted cells disagree are left for eRepair.
-func (e *Engine) applyVariableCFDGroup(ri int, r rule.Rule, members []int) int {
-	e.apply[ri].CGroups++
-	e.apply[ri].CTuples += len(members)
-	c := r.CFD
+func (ap *applier) variableCFDGroup(ri int, c *cfd.CFD, members []int) int {
+	ap.stat(ri).CGroups++
+	ap.stat(ri).CTuples += len(members)
+	e := ap.e
 	// Pick the highest-confidence non-null RHS value as the source.
 	bestConf, bestVal := -1.0, ""
 	for _, i := range members {
@@ -157,7 +152,7 @@ func (e *Engine) applyVariableCFDGroup(ri int, r rule.Rule, members []int) int {
 		t := e.data.Tuples[i]
 		v := t.Values[c.RHS]
 		if !relation.IsNull(v) && v != bestVal && t.Conf[c.RHS] >= e.opts.Eta {
-			e.conflictf("%s: group %q has trusted values %q and %q",
+			ap.conflictf("%s: group %q has trusted values %q and %q",
 				c.Name, e.data.Tuples[members[0]].Key(c.LHS), bestVal, v)
 			return 0
 		}
@@ -174,26 +169,26 @@ func (e *Engine) applyVariableCFDGroup(ri int, r rule.Rule, members []int) int {
 			conf = bestConf
 		}
 		if t.Values[c.RHS] == bestVal {
-			progress += e.assert(i, c.RHS, conf)
+			progress += ap.assert(i, c.RHS, conf)
 		} else if t.Marks[c.RHS] != relation.FixDeterministic {
-			progress += e.fix(i, c.RHS, bestVal, conf, c.Name)
+			progress += ap.fix(i, c.RHS, bestVal, conf, c.Name)
 		}
 	}
 	return progress
 }
 
-// applyMatchMDTuple copies master values into data tuple i when the MD
-// premise matches, per Section 3.1 rule (1). Matching goes through the
-// blocking indexes; the fix confidence is the fuzzy minimum over the
+// matchMDTuple copies master values into data tuple i when the MD premise
+// matches, per Section 3.1 rule (1). Matching goes through the blocking
+// indexes; the fix confidence is the fuzzy minimum over the
 // equality-premise cells of the data tuple (similarity-tested cells
 // contribute no confidence, and master data is clean by assumption).
-func (e *Engine) applyMatchMDTuple(ri int, r rule.Rule, i int) int {
-	x := e.matchers[ri]
+func (ap *applier) matchMDTuple(ri int, m *md.MD, i int) int {
+	x := ap.matchers[ri]
 	if x == nil {
 		return 0 // no master data: the MD is vacuous
 	}
-	e.apply[ri].CTuples++
-	m := r.MD
+	ap.stat(ri).CTuples++
+	e := ap.e
 	t := e.data.Tuples[i]
 	conf := minConfAt(t, x.eqDataAttrs)
 	if conf < e.opts.Eta {
@@ -209,12 +204,12 @@ func (e *Engine) applyMatchMDTuple(ri int, r rule.Rule, i int) int {
 			}
 			switch {
 			case t.Values[p.DataAttr] == v:
-				progress += e.assert(i, p.DataAttr, conf)
+				progress += ap.assert(i, p.DataAttr, conf)
 			case t.Marks[p.DataAttr] == relation.FixDeterministic:
-				e.conflictf("%s: t%d[%s] is frozen at %q, master tuple %d says %q",
+				ap.conflictf("%s: t%d[%s] is frozen at %q, master tuple %d says %q",
 					m.Name, i, e.data.Schema.Attrs[p.DataAttr], t.Values[p.DataAttr], j, v)
 			default:
-				progress += e.fix(i, p.DataAttr, v, conf, m.Name)
+				progress += ap.fix(i, p.DataAttr, v, conf, m.Name)
 			}
 		}
 	}

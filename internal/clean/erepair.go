@@ -17,15 +17,17 @@ import (
 type egroup struct {
 	ci      int    // index into the engine's variable-CFD list
 	id      string // "<ci>|<LHS key>", the AVL tie-break key
-	key     string // the bare LHS key, for re-keying via the group index
+	key     int32  // interned LHS key, for re-keying via the group index
 	members []int  // tuple indexes, in relation order
 	entropy float64
 }
 
-// eref names one group for re-keying at the next ERepair call.
+// eref names one group for re-keying at the next ERepair call. The key is
+// the group index's interned symbol; the rescan engine, which has no group
+// indexes, never records refs.
 type eref struct {
 	ci  int
-	key string
+	key int32
 }
 
 // ERepair is the entropy-based phase of Section 6: variable-CFD groups with
@@ -71,8 +73,11 @@ func (e *Engine) ERepair() {
 
 	// rekey re-evaluates one group of one CFD from the current relation
 	// state: its stale tree entry is removed and, unless the group is done,
-	// dissolved, or conflict-free, a fresh entry is inserted.
-	rekey := func(vi int, key string, members []int) {
+	// dissolved, or conflict-free, a fresh entry is inserted. The AVL
+	// tie-break id stays the raw "<ci>|<LHS key>" string — both engines must
+	// resolve ties in the same order, and the rescan reference never sees
+	// the group index's interned symbols.
+	rekey := func(vi int, key string, kid int32, members []int) {
 		id := strconv.Itoa(vi) + "|" + key
 		if g := groups[id]; g != nil {
 			tree.Delete(avl.Key{Entropy: g.entropy, ID: id})
@@ -82,7 +87,7 @@ func (e *Engine) ERepair() {
 			return
 		}
 		e.apply[varRules[vi]].ETuples += len(members)
-		g := &egroup{ci: vi, id: id, key: key, members: members}
+		g := &egroup{ci: vi, id: id, key: kid, members: members}
 		var distinct int
 		g.entropy, distinct = groupEntropy(e.data, varCFDs[vi].RHS, g.members)
 		if distinct < 2 {
@@ -97,12 +102,13 @@ func (e *Engine) ERepair() {
 	// mutate under later writes, while a tree entry must keep the
 	// membership it was keyed with until re-keyed — the same staleness
 	// contract the rescan path gets from its cfd.Groups snapshots.
-	rekeyFromIndex := func(vi int, key string) {
+	rekeyFromIndex := func(vi int, kid int32) {
+		gi := e.sched.gidx[varRules[vi]]
 		var members []int
-		if cg := e.sched.gidx[varRules[vi]].groups[key]; cg != nil {
+		if cg := gi.groups[kid]; cg != nil {
 			members = append([]int(nil), cg.members...)
 		}
-		rekey(vi, key, members)
+		rekey(vi, gi.syms.str(kid), kid, members)
 	}
 
 	// rebuild re-groups one whole CFD from the current relation state — the
@@ -116,7 +122,7 @@ func (e *Engine) ERepair() {
 			}
 		}
 		for _, cg := range cfd.Groups(e.data, varCFDs[vi]) {
-			rekey(vi, cg.Key, cg.Members)
+			rekey(vi, cg.Key, -1, cg.Members)
 		}
 	}
 
@@ -131,8 +137,8 @@ func (e *Engine) ERepair() {
 		// seed is about to cover.
 		e.sched.resetE()
 		for vi, ri := range varRules {
-			for key := range e.sched.gidx[ri].groups {
-				rekeyFromIndex(vi, key)
+			for kid := range e.sched.gidx[ri].groups {
+				rekeyFromIndex(vi, kid)
 			}
 		}
 		e.eSeeded = true
@@ -146,8 +152,8 @@ func (e *Engine) ERepair() {
 			rekeyFromIndex(p.ci, p.key)
 		}
 		for vj, ri := range varRules {
-			for _, key := range e.sched.gidx[ri].takeKeys(phaseE) {
-				rekeyFromIndex(vj, key)
+			for _, kid := range e.sched.gidx[ri].takeKeys(phaseE) {
+				rekeyFromIndex(vj, kid)
 			}
 		}
 	}
@@ -173,8 +179,8 @@ func (e *Engine) ERepair() {
 			}
 		} else {
 			for vj, ri := range varRules {
-				for _, key := range e.sched.gidx[ri].takeKeys(phaseE) {
-					rekeyFromIndex(vj, key)
+				for _, kid := range e.sched.gidx[ri].takeKeys(phaseE) {
+					rekeyFromIndex(vj, kid)
 				}
 			}
 		}

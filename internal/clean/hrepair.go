@@ -40,29 +40,10 @@ const DefaultHBudget = 3
 // group (seeding its own worklists, independent of cRepair's); later rounds
 // — and later outer passes of Run — visit only the tuples and groups
 // written since hRepair last saw them. Options.Rescan restores the full
-// re-scan of every round.
+// re-scan of every round; Options.Workers > 1 shards each rule's visit
+// across the pool, with the per-cell budget read during propose and spent
+// during the deterministic commit.
 func (e *Engine) HRepair() {
-	budget := e.opts.HBudget
-	if budget <= 0 {
-		budget = DefaultHBudget
-	}
-	if e.hleft == nil {
-		// (tuple, attr) -> remaining value writes. Kept on the engine so
-		// the budget spans the outer passes of Run: a cell hRepair gave up
-		// on is not granted a fresh budget just because cRepair ran again.
-		e.hleft = make(map[[2]int]int)
-	}
-	spend := func(i, a int) bool {
-		k := [2]int{i, a}
-		if _, ok := e.hleft[k]; !ok {
-			e.hleft[k] = budget
-		}
-		if e.hleft[k] == 0 {
-			return false
-		}
-		e.hleft[k]--
-		return true
-	}
 	for {
 		e.res.HRounds++
 		seeded := e.hSeeded
@@ -71,46 +52,44 @@ func (e *Engine) HRepair() {
 			full := e.opts.Rescan || !seeded
 			switch r.Kind {
 			case rule.ConstantCFD:
+				var ids []int
 				if full {
 					if e.sched != nil {
 						e.sched.clearTuples(phaseH, ri)
 					}
-					for i := range e.data.Tuples {
-						e.setActive(phaseH, ri, i)
-						writes += e.hConstantTuple(ri, r.CFD, i, spend)
-					}
+					ids = e.allTupleIDs()
 				} else {
-					for _, i := range e.sched.takeTuples(phaseH, ri) {
-						e.setActive(phaseH, ri, i)
-						writes += e.hConstantTuple(ri, r.CFD, i, spend)
-					}
+					ids = e.sched.takeTuples(phaseH, ri)
 				}
-				e.clearActive()
+				writes += e.applyTuples(phaseH, ri, ids, func(ap *applier, i int) int {
+					return ap.hConstantTuple(ri, r.CFD, i)
+				})
 			case rule.VariableCFD:
 				switch {
 				case full && e.sched != nil:
 					// Seeding round: groups come from the persistent index,
 					// violating ones filtered the way ViolatingGroups would.
 					e.sched.clearGroups(phaseH, ri)
-					for _, members := range e.sched.allGroups(ri) {
-						if conflictedMembers(e.data, r.CFD.RHS, members) {
-							writes += e.hVariableGroup(ri, r.CFD, members, spend)
+					writes += e.applyGroups(phaseH, ri, e.sched.allGroups(ri), func(ap *applier, members []int) int {
+						if !conflictedMembers(ap.e.data, r.CFD.RHS, members) {
+							return 0
 						}
-					}
+						return ap.hVariableGroup(ri, r.CFD, members)
+					})
 				case full:
 					for _, g := range cfd.ViolatingGroups(e.data, r.CFD) {
-						writes += e.hVariableGroup(ri, r.CFD, g.Members, spend)
+						writes += e.ap.hVariableGroup(ri, r.CFD, g.Members)
 					}
 				default:
-					for _, members := range e.sched.takeGroups(phaseH, ri) {
-						if conflictedMembers(e.data, r.CFD.RHS, members) {
-							writes += e.hVariableGroup(ri, r.CFD, members, spend)
-						} else {
+					writes += e.applyGroups(phaseH, ri, e.sched.takeGroups(phaseH, ri), func(ap *applier, members []int) int {
+						if !conflictedMembers(ap.e.data, r.CFD.RHS, members) {
 							// Examined but conflict-free: counted here, since
 							// only hVariableGroup counts the groups it runs on.
-							e.apply[ri].HTuples += len(members)
+							ap.stat(ri).HTuples += len(members)
+							return 0
 						}
-					}
+						return ap.hVariableGroup(ri, r.CFD, members)
+					})
 				}
 			}
 		}
@@ -136,22 +115,23 @@ func conflictedMembers(d *relation.Relation, a int, members []int) bool {
 // hConstantTuple repairs tuple i against a constant CFD if it violates it:
 // the pattern constant is forced, so the only heuristic decision is whether
 // to write it or to retract the tuple from the rule's scope.
-func (e *Engine) hConstantTuple(ri int, c *cfd.CFD, i int, spend func(i, a int) bool) int {
-	e.apply[ri].HTuples++
-	t := e.data.Tuples[i]
+func (ap *applier) hConstantTuple(ri int, c *cfd.CFD, i int) int {
+	ap.stat(ri).HTuples++
+	t := ap.e.data.Tuples[i]
 	if !c.MatchLHS(t) || t.Values[c.RHS] == c.RHSPattern {
 		return 0
 	}
-	if t.Marks[c.RHS] != relation.FixDeterministic && spend(i, c.RHS) {
-		return e.hfix(i, c.RHS, c.RHSPattern, minConfAt(t, c.LHS), c.Name)
+	if t.Marks[c.RHS] != relation.FixDeterministic && ap.spend(i, c.RHS) {
+		return ap.hfix(i, c.RHS, c.RHSPattern, minConfAt(t, c.LHS), c.Name)
 	}
-	return e.retract(i, c)
+	return ap.retract(i, c)
 }
 
 // hVariableGroup repairs one disagreeing LHS-equal group of a variable CFD
 // by equalizing it on a heuristically chosen target value.
-func (e *Engine) hVariableGroup(ri int, c *cfd.CFD, members []int, spend func(i, a int) bool) int {
-	e.apply[ri].HTuples += len(members)
+func (ap *applier) hVariableGroup(ri int, c *cfd.CFD, members []int) int {
+	ap.stat(ri).HTuples += len(members)
+	e := ap.e
 	writes := 0
 	a := c.RHS
 	frozen := make(map[string]int) // frozen value -> frozen member count
@@ -176,7 +156,7 @@ func (e *Engine) hVariableGroup(ri int, c *cfd.CFD, members []int, spend func(i,
 		for _, i := range members {
 			t := e.data.Tuples[i]
 			if t.Marks[a] == relation.FixDeterministic && t.Values[a] != keep {
-				writes += e.retract(i, c)
+				writes += ap.retract(i, c)
 			}
 		}
 		return writes
@@ -199,7 +179,7 @@ func (e *Engine) hVariableGroup(ri int, c *cfd.CFD, members []int, spend func(i,
 		}
 		conf = float64(n) / float64(len(members))
 	} else {
-		target, conf = e.hTarget(c, members)
+		target, conf = ap.hTarget(c, members)
 		if target == "" {
 			return 0 // every cell is null: nothing to propagate
 		}
@@ -209,10 +189,10 @@ func (e *Engine) hVariableGroup(ri int, c *cfd.CFD, members []int, spend func(i,
 		if t.Values[a] == target {
 			continue
 		}
-		if t.Marks[a] != relation.FixDeterministic && spend(i, a) {
-			writes += e.hfix(i, a, target, conf, c.Name)
+		if t.Marks[a] != relation.FixDeterministic && ap.spend(i, a) {
+			writes += ap.hfix(i, a, target, conf, c.Name)
 		} else {
-			writes += e.retract(i, c)
+			writes += ap.retract(i, c)
 		}
 	}
 	return writes
@@ -221,9 +201,12 @@ func (e *Engine) hVariableGroup(ri int, c *cfd.CFD, members []int, spend func(i,
 // hTarget picks the repair value for a disagreeing group: the value with
 // the largest total cell confidence, with ties broken by plain occurrence
 // count, then by support from master data via the MD blocking indexes, and
-// finally lexicographically so the choice is deterministic. The returned
-// confidence is the plurality fraction of the group, as in eRepair.
-func (e *Engine) hTarget(c *cfd.CFD, members []int) (string, float64) {
+// finally lexicographically so the choice is deterministic — the chain is a
+// strict total order, so the map iteration order underneath can never show
+// (pinned by TestHTargetTieBreakDeterminism). The returned confidence is
+// the plurality fraction of the group, as in eRepair.
+func (ap *applier) hTarget(c *cfd.CFD, members []int) (string, float64) {
+	e := ap.e
 	a := c.RHS
 	count := make(map[string]int)
 	confSum := make(map[string]float64)
@@ -237,7 +220,7 @@ func (e *Engine) hTarget(c *cfd.CFD, members []int) (string, float64) {
 	var master map[string]bool // lazily built on the first tie
 	inMaster := func(v string) bool {
 		if master == nil {
-			master = e.masterSuggestions(a, members)
+			master = ap.masterSuggestions(a, members)
 		}
 		return master[v]
 	}
@@ -269,10 +252,11 @@ func (e *Engine) hTarget(c *cfd.CFD, members []int) (string, float64) {
 // members. These are the values a match rule would write if its premise
 // ever came to hold, so among otherwise equally supported repair values
 // they are the better guess.
-func (e *Engine) masterSuggestions(a int, members []int) map[string]bool {
+func (ap *applier) masterSuggestions(a int, members []int) map[string]bool {
+	e := ap.e
 	out := make(map[string]bool)
 	for ri, r := range e.rules {
-		if r.Kind != rule.MatchMD || e.matchers[ri] == nil {
+		if r.Kind != rule.MatchMD || ap.matchers[ri] == nil {
 			continue
 		}
 		for _, p := range r.MD.RHS {
@@ -280,7 +264,7 @@ func (e *Engine) masterSuggestions(a int, members []int) map[string]bool {
 				continue
 			}
 			for _, i := range members {
-				for _, j := range e.matchers[ri].probe(e.data.Tuples[i], e.opts.TopL) {
+				for _, j := range ap.matchers[ri].probe(e.data.Tuples[i], e.opts.TopL) {
 					if v := e.master.Tuples[j].Values[p.MasterAttr]; !relation.IsNull(v) {
 						out[v] = true
 					}
@@ -300,14 +284,14 @@ func (e *Engine) masterSuggestions(a int, members []int) map[string]bool {
 // not source evidence. Among eligible cells the least confident is chosen.
 // Returns 0 when no cell is eligible; the violation then stands and the
 // Checker will report it.
-func (e *Engine) retract(i int, c *cfd.CFD) int {
-	t := e.data.Tuples[i]
+func (ap *applier) retract(i int, c *cfd.CFD) int {
+	t := ap.e.data.Tuples[i]
 	pick := -1
 	for _, b := range c.LHS {
 		if t.Marks[b] == relation.FixDeterministic {
 			continue
 		}
-		if t.Marks[b] == relation.FixNone && t.Conf[b] >= e.opts.Eta {
+		if t.Marks[b] == relation.FixNone && t.Conf[b] >= ap.e.opts.Eta {
 			continue
 		}
 		if relation.IsNull(t.Values[b]) {
@@ -320,7 +304,7 @@ func (e *Engine) retract(i int, c *cfd.CFD) int {
 	if pick < 0 {
 		return 0
 	}
-	return e.hfix(i, pick, relation.Null, 0, c.Name+" (retract)")
+	return ap.hfix(i, pick, relation.Null, 0, c.Name+" (retract)")
 }
 
 // hfix writes value v to cell (i, a) as a possible fix with confidence

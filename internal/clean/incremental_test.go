@@ -3,6 +3,8 @@ package clean
 import (
 	"fmt"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/cfd"
@@ -13,9 +15,10 @@ import (
 
 // runModes runs the pipeline twice over identical clones of the instance —
 // once with the delta-driven scheduler, once with the full-rescan reference
-// — and returns both results.
+// — and returns both results. Workers is forced to 1 so the incremental
+// result is the sequential engine's, whatever the host's GOMAXPROCS.
 func runModes(data, master *relation.Relation, rules []rule.Rule, opts Options) (inc, ref *Result) {
-	opts.Rescan = false
+	opts.Rescan, opts.Workers = false, 1
 	inc = Run(data, master, rules, opts)
 	opts.Rescan = true
 	ref = Run(data, master, rules, opts)
@@ -61,25 +64,70 @@ func diffResults(inc, ref *Result) string {
 	return ""
 }
 
+// diffParallel compares a parallel-pool result against the sequential
+// incremental result. The bar is stricter than diffResults: the parallel
+// engine runs the same scheduler over the same worklists, so even the work
+// counters — per-rule applier visits, per-MD matcher statistics — must be
+// identical, not just the fixes. (WorkerVisits is exempt: how the visits
+// split across workers depends on runtime scheduling.)
+func diffParallel(par, seq *Result) string {
+	if d := diffResults(par, seq); d != "" {
+		return d
+	}
+	if !reflect.DeepEqual(par.Apply, seq.Apply) {
+		return fmt.Sprintf("applier work counters differ:\nparallel:   %v\nsequential: %v",
+			statsDump(par.Apply), statsDump(seq.Apply))
+	}
+	if !reflect.DeepEqual(par.Match, seq.Match) {
+		return fmt.Sprintf("matcher statistics differ:\nparallel:   %v\nsequential: %v",
+			par.Match, seq.Match)
+	}
+	return ""
+}
+
+func statsDump(m map[string]*ApplyStats) string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%+v ", name, *m[name])
+	}
+	return b.String()
+}
+
 // TestPropertyIncrementalEquivalence is the correctness bar of the
-// delta-driven scheduler: over the seeded dirty corpus, the incremental
-// engine must produce fix-for-fix identical results to the full-rescan
-// reference — same Fixes in the same order, same Asserts, Conflicts, group
-// resolutions, round counts, certified Report, and final cell state.
+// delta-driven scheduler and of the parallel applier layer on top of it:
+// over the seeded dirty corpus, the sequential incremental engine must
+// produce fix-for-fix identical results to the full-rescan reference —
+// same Fixes in the same order, same Asserts, Conflicts, group
+// resolutions, round counts, certified Report, and final cell state — and
+// the parallel engine (four workers) must match the sequential incremental
+// engine down to the work counters. Run it under -race: the propose step
+// is the engine's only concurrency.
 func TestPropertyIncrementalEquivalence(t *testing.T) {
 	const seeds = 400
+	opts := DefaultOptions()
+	opts.Workers = 4
 	for seed := int64(0); seed < seeds; seed++ {
 		in := genInstance(seed)
 		inc, ref := runModes(in.relation(nil), nil, in.rules, DefaultOptions())
 		if d := diffResults(inc, ref); d != "" {
 			t.Fatalf("seed %d: incremental and rescan engines disagree: %s", seed, d)
 		}
+		par := Run(in.relation(nil), nil, in.rules, opts)
+		if d := diffParallel(par, inc); d != "" {
+			t.Fatalf("seed %d: parallel and sequential engines disagree: %s", seed, d)
+		}
 	}
 }
 
 // TestIncrementalEquivalenceWithMaster covers the MD path the randomized
 // corpus lacks: the Figure-1 workload exercises equality- and suffix-tree
-// blocking, frozen-cell conflicts and the outer Run fixpoint in both modes.
+// blocking, frozen-cell conflicts and the outer Run fixpoint in all three
+// modes.
 func TestIncrementalEquivalenceWithMaster(t *testing.T) {
 	data, master, rules := figure1(t)
 	inc, ref := runModes(data, master, rules, DefaultOptions())
@@ -89,6 +137,13 @@ func TestIncrementalEquivalenceWithMaster(t *testing.T) {
 	if inc.TotalVisits() >= ref.TotalVisits() {
 		t.Errorf("incremental visits %d not below rescan visits %d",
 			inc.TotalVisits(), ref.TotalVisits())
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	data, master, rules = figure1(t)
+	par := Run(data, master, rules, opts)
+	if d := diffParallel(par, inc); d != "" {
+		t.Fatalf("parallel and sequential engines disagree on figure1: %s", d)
 	}
 }
 
@@ -155,17 +210,21 @@ func TestMasterTieBreakReadsReenqueue(t *testing.T) {
 		}
 	}
 	gi := e.sched.gidx[fdIdx]
-	gi.dirty[phaseH] = make(map[string]bool) // drop any seeding marks
+	gi.dirty[phaseH] = make(map[int32]bool) // drop any seeding marks
 
 	// A is read only by the MD premise — and, transitively, by the fd's
 	// hRepair tie-break. Writing it must H-dirty tuple 0's group of fd.
 	e.fix(0, dschema.MustIndex("A"), "a1", 0.9, "test")
 	key := e.data.Tuples[0].Key([]int{dschema.MustIndex("B")})
-	if !gi.dirty[phaseH][key] {
+	kid, ok := gi.syms.ids[key]
+	if !ok {
+		t.Fatalf("group key %q was never interned; symbols = %v", key, gi.syms.strs)
+	}
+	if !gi.dirty[phaseH][kid] {
 		t.Fatalf("write to MD premise attr A did not H-dirty the fd group %q; dirty = %v",
 			key, gi.dirty[phaseH])
 	}
-	if gi.dirty[phaseC][key] {
+	if gi.dirty[phaseC][kid] {
 		t.Errorf("write to A must not C-dirty the fd group: cRepair never reads master suggestions")
 	}
 }
@@ -218,7 +277,10 @@ func TestGroupIndexStaysExact(t *testing.T) {
 					seed, r.Name(), len(gi.groups), len(want))
 			}
 			for _, wg := range want {
-				g := gi.groups[wg.Key]
+				var g *igroup
+				if kid, ok := gi.syms.ids[wg.Key]; ok {
+					g = gi.groups[kid]
+				}
 				if g == nil || !reflect.DeepEqual(g.members, wg.Members) {
 					t.Fatalf("seed %d rule %s group %q: index members %v, want %v",
 						seed, r.Name(), wg.Key, g, wg.Members)

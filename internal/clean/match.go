@@ -33,18 +33,35 @@ type matcher struct {
 	tree      *suffixtree.Tree
 	treeIDs   [][]int // suffix-tree string id -> master tuple indexes
 
+	// allIDs is the identity list the index-less fallback scans, built once
+	// and shared read-only with every fork.
+	allIDs []int
+
 	// Lookup scratch, reused across probes so the hot path does not
-	// allocate per tuple: idsBuf backs the candidate list, allIDs is the
-	// identity list the index-less fallback scans, and seen/seenGen dedupe
-	// candidates produced by several blocking keys (first occurrence wins,
-	// preserving the verification order) so no master tuple is verified
-	// twice for one probe.
+	// allocate per tuple: idsBuf backs the candidate list, keyBuf backs the
+	// equality-index key (probed as string(keyBuf), which allocates
+	// nothing), and seen/seenGen dedupe candidates produced by several
+	// blocking keys (first occurrence wins, preserving the verification
+	// order) so no master tuple is verified twice for one probe. Scratch is
+	// private per matcher; pool workers probe through forks.
 	idsBuf  []int
-	allIDs  []int
+	keyBuf  []byte
 	seen    []uint64
 	seenGen uint64
 
 	stats MatchStats
+}
+
+// fork returns a matcher sharing x's immutable blocking indexes — the
+// equality buckets, the suffix tree and its id lists, the fallback identity
+// list — with private lookup scratch and statistics, so pool workers can
+// probe concurrently. Fork statistics are merged back into x.stats by
+// order-independent sums after each parallel phase.
+func (x *matcher) fork() *matcher {
+	f := *x
+	f.idsBuf, f.keyBuf, f.seen, f.seenGen = nil, nil, nil, 0
+	f.stats = MatchStats{MasterSize: x.stats.MasterSize}
+	return &f
 }
 
 // eqClauses returns the data- and master-side attributes of an MD's
@@ -100,6 +117,13 @@ func newMatcher(m *md.MD, master *relation.Relation) *matcher {
 			}
 			x.treeIDs[id] = append(x.treeIDs[id], j)
 		}
+	default:
+		// No usable index: every lookup scans Dm. The identity list is
+		// built here, not lazily in block, so forks can share it.
+		x.allIDs = make([]int, master.Len())
+		for j := range x.allIDs {
+			x.allIDs[j] = j
+		}
 	}
 	return x
 }
@@ -136,7 +160,8 @@ func (x *matcher) probe(t *relation.Tuple, topL int) []int {
 func (x *matcher) block(t *relation.Tuple, topL int) (ids []int, fullScan bool) {
 	switch {
 	case x.eqIndex != nil:
-		return x.eqIndex[t.Key(x.eqDataAttrs)], false
+		x.keyBuf = relation.AppendKey(x.keyBuf[:0], t, x.eqDataAttrs)
+		return x.eqIndex[string(x.keyBuf)], false
 	case x.tree != nil:
 		v := t.Values[x.simData]
 		if relation.IsNull(v) {
@@ -162,12 +187,6 @@ func (x *matcher) block(t *relation.Tuple, topL int) (ids []int, fullScan bool) 
 		x.idsBuf = ids
 		return ids, false
 	default:
-		if x.allIDs == nil {
-			x.allIDs = make([]int, x.master.Len())
-			for j := range x.allIDs {
-				x.allIDs[j] = j
-			}
-		}
 		return x.allIDs, true
 	}
 }

@@ -1,0 +1,378 @@
+package clean
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// This file implements the parallel applier layer on top of the delta-driven
+// scheduler: a bounded worker pool that fans one rule's worklist out as
+// shards, computes *proposed* fixes concurrently, and commits the proposals
+// through a single deterministic merge step, so the result stays
+// fix-for-fix identical to the sequential engine.
+//
+// The design splits every applier into propose and commit:
+//
+//   - Propose runs concurrently. Each worker owns a disjoint share of the
+//     rule's work items (tuples for per-tuple rules, LHS-equal groups for
+//     variable CFDs) and runs the ordinary applier decision logic against
+//     the live relation. Writes mutate the owned cells directly — safe,
+//     because one rule's items never read each other's cells (per-tuple
+//     rules read only their own tuple; groups of one rule partition the
+//     relation) — and are recorded as ops carrying the cell's pre-write
+//     state. Shared engine state (Fixes, Asserts, Conflicts, the
+//     scheduler's worklists and group indexes, hRepair's budget) is never
+//     touched during propose.
+//
+//   - Commit runs on one goroutine after the barrier, merging proposals in
+//     worklist order (ascending tuple id / first group member — exactly the
+//     order the sequential engine visits). For each item it first rewinds
+//     the propose-time cell writes, then replays the ops through the
+//     engine's own assert/fix/hfix/conflictf path, so every piece of
+//     bookkeeping — fix records, scheduler re-enqueueing with the
+//     in-flight-rule suppression, conflict dedup — is produced by the same
+//     code the sequential engine runs, observing the same intermediate cell
+//     states.
+//
+// Rules still commit one after another in rule.Order: a later rule's
+// propose sees every earlier rule's writes of the same round, which is what
+// keeps Rounds and the fix interleaving byte-identical to the sequential
+// engine. The parallelism is within a rule, where the sequential visit
+// order provably cannot matter.
+
+// opKind enumerates the effects a propose pass records.
+type opKind uint8
+
+const (
+	opAssert opKind = iota
+	opFix
+	opHFix
+	opSpend
+	opConflict
+)
+
+// op is one effect proposed by a worker: enough to rewind the propose-time
+// cell mutation and to replay the effect through the engine's own write
+// path at commit.
+type op struct {
+	kind opKind
+	i, a int     // target cell (unused for opConflict)
+	val  string  // value written (opFix, opHFix)
+	conf float64 // confidence attached (opAssert, opFix, opHFix)
+	rule string  // rule name recorded on the fix
+	msg  string  // rendered conflict text (opConflict)
+
+	// Cell (i, a) before this op, captured at propose time. Commit rewinds
+	// through these so the replay sees exactly the intermediate states the
+	// sequential engine would.
+	oldVal  string
+	oldConf float64
+	oldMark relation.FixMark
+}
+
+// proposal collects the ops one work item produced during propose, in
+// decision order. Most items propose nothing and stay allocation-free.
+type proposal struct {
+	ops []op
+}
+
+// applier is the execution context of the per-tuple and per-group rule
+// appliers: the matcher set to probe and the sink decisions go to. The
+// engine's canonical applier (Engine.ap) commits effects immediately; each
+// pool worker carries one with forked matchers, private work counters, and
+// a proposal buffer switched per item.
+type applier struct {
+	e        *Engine
+	matchers []*matcher  // the engine's own, or per-worker forks
+	buf      *proposal   // nil: direct-commit mode
+	scratch  *ApplyStats // non-nil on workers: counters merged after the barrier
+}
+
+// stat returns where rule ri's work counters go: the engine's per-rule
+// counter in direct mode, the worker's scratch in propose mode.
+func (ap *applier) stat(ri int) *ApplyStats {
+	if ap.scratch != nil {
+		return ap.scratch
+	}
+	return ap.e.apply[ri]
+}
+
+// assert freezes cell (i, a) (see Engine.assert). In propose mode the
+// mutation lands on the live cell — the item owns it — and is recorded for
+// the commit replay.
+func (ap *applier) assert(i, a int, conf float64) int {
+	if ap.buf == nil {
+		return ap.e.assert(i, a, conf)
+	}
+	t := ap.e.data.Tuples[i]
+	if t.Marks[a] == relation.FixDeterministic {
+		return 0
+	}
+	ap.record(op{kind: opAssert, i: i, a: a, conf: conf}, t)
+	if conf > t.Conf[a] {
+		t.Conf[a] = conf
+	}
+	t.Marks[a] = relation.FixDeterministic
+	return 1
+}
+
+// fix writes a deterministic fix to cell (i, a) (see Engine.fix).
+func (ap *applier) fix(i, a int, v string, conf float64, ruleName string) int {
+	if ap.buf == nil {
+		return ap.e.fix(i, a, v, conf, ruleName)
+	}
+	t := ap.e.data.Tuples[i]
+	ap.record(op{kind: opFix, i: i, a: a, val: v, conf: conf, rule: ruleName}, t)
+	t.Set(a, v, conf, relation.FixDeterministic)
+	return 1
+}
+
+// hfix writes a possible fix to cell (i, a) (see Engine.hfix).
+func (ap *applier) hfix(i, a int, v string, conf float64, ruleName string) int {
+	if ap.buf == nil {
+		return ap.e.hfix(i, a, v, conf, ruleName)
+	}
+	t := ap.e.data.Tuples[i]
+	ap.record(op{kind: opHFix, i: i, a: a, val: v, conf: conf, rule: ruleName}, t)
+	t.Set(a, v, conf, relation.FixPossible)
+	return 1
+}
+
+func (ap *applier) record(o op, t *relation.Tuple) {
+	o.oldVal, o.oldConf, o.oldMark = t.Values[o.a], t.Conf[o.a], t.Marks[o.a]
+	ap.buf.ops = append(ap.buf.ops, o)
+}
+
+// conflictf records a refused fix (see Engine.conflictf). Propose renders
+// the message immediately — its inputs are the item's own cells — and
+// commit dedups in merge order, so the Conflicts list is deterministic.
+func (ap *applier) conflictf(format string, args ...any) {
+	if ap.buf == nil {
+		ap.e.conflictf(format, args...)
+		return
+	}
+	ap.buf.ops = append(ap.buf.ops, op{kind: opConflict, msg: fmt.Sprintf(format, args...)})
+}
+
+// spend consumes one unit of cell (i, a)'s hRepair change budget. Propose
+// only reads the shared budget map — safe, since commit defers all budget
+// writes past the barrier and no two items of one rule touch the same cell
+// — and records the decrement for the commit replay.
+func (ap *applier) spend(i, a int) bool {
+	if ap.buf == nil {
+		return ap.e.spend(i, a)
+	}
+	if ap.e.budgetLeft(i, a) == 0 {
+		return false
+	}
+	ap.buf.ops = append(ap.buf.ops, op{kind: opSpend, i: i, a: a})
+	return true
+}
+
+// rewind restores the cells a proposal wrote to their pre-propose state, in
+// reverse op order, so the commit replay starts from the state the
+// sequential engine would see.
+func (e *Engine) rewind(ops []op) {
+	for k := len(ops) - 1; k >= 0; k-- {
+		o := ops[k]
+		switch o.kind {
+		case opAssert, opFix, opHFix:
+			t := e.data.Tuples[o.i]
+			t.Values[o.a], t.Conf[o.a], t.Marks[o.a] = o.oldVal, o.oldConf, o.oldMark
+		}
+	}
+}
+
+// replay commits one recorded op through the engine's own write path — the
+// code the sequential engine runs — and returns its progress contribution.
+func (e *Engine) replay(o op) int {
+	switch o.kind {
+	case opAssert:
+		return e.assert(o.i, o.a, o.conf)
+	case opFix:
+		return e.fix(o.i, o.a, o.val, o.conf, o.rule)
+	case opHFix:
+		return e.hfix(o.i, o.a, o.val, o.conf, o.rule)
+	case opSpend:
+		e.spend(o.i, o.a)
+	case opConflict:
+		e.conflictf("%s", o.msg)
+	}
+	return 0
+}
+
+// pool is the bounded worker pool of the parallel applier layer: one
+// applier per worker, each with forked matchers (shared immutable indexes,
+// private scratch and statistics).
+type pool struct {
+	workers []*applier
+	visits  []int64 // per-worker propose tuple visits, reported by -bench
+}
+
+func newPool(e *Engine, n int) *pool {
+	p := &pool{visits: make([]int64, n)}
+	for w := 0; w < n; w++ {
+		forks := make([]*matcher, len(e.matchers))
+		for ri, x := range e.matchers {
+			if x != nil {
+				forks[ri] = x.fork()
+			}
+		}
+		p.workers = append(p.workers, &applier{e: e, matchers: forks, scratch: &ApplyStats{}})
+	}
+	return p
+}
+
+// runParallel fans one rule's work items out to the pool and commits the
+// proposals in item order. items must already be in sequential visit order
+// (ascending tuple id / first group member), and item ownership must be
+// disjoint: no two items may read or write the same data tuple — which
+// holds for every rule kind, since per-tuple appliers read only their own
+// tuple (plus immutable master data) and one rule's groups partition the
+// relation. activeTuple reports the tuple to bracket with the scheduler's
+// in-flight-rule suppression during commit, mirroring the sequential
+// setActive calls (per-tuple rules only).
+func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
+	activeTuple func(T) (int, bool), fn func(*applier, T) int) int {
+
+	props := make([]proposal, len(items))
+	// Shards are contiguous chunks of the ordered worklist, claimed through
+	// an atomic cursor so one slow shard (a huge group, a full-scan MD
+	// probe) cannot stall the rest of the pool. Chunking preserves locality;
+	// the merge below is index-ordered, so the claim order never shows.
+	chunk := len(items) / (len(p.workers) * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 2048 {
+		chunk = 2048
+	}
+	// Small delta rounds are the common case: never spawn more workers
+	// than there are chunks to claim, and merge only what ran.
+	n := (len(items) + chunk - 1) / chunk
+	if n > len(p.workers) {
+		n = len(p.workers)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for _, ap := range p.workers[:n] {
+		wg.Add(1)
+		go func(ap *applier) {
+			defer wg.Done()
+			for {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= len(items) {
+					return
+				}
+				if hi > len(items) {
+					hi = len(items)
+				}
+				for idx := lo; idx < hi; idx++ {
+					ap.buf = &props[idx]
+					fn(ap, items[idx])
+				}
+				ap.buf = nil
+			}
+		}(ap)
+	}
+	wg.Wait()
+
+	// Merge the deterministic work counters: order-independent sums into
+	// the same per-rule and per-MD counters the sequential engine bumps.
+	for w, ap := range p.workers[:n] {
+		p.visits[w] += int64(ap.scratch.Visits())
+		e.apply[ri].add(ap.scratch)
+		*ap.scratch = ApplyStats{}
+		for rj, x := range e.matchers {
+			if f := ap.matchers[rj]; f != nil && x != nil {
+				x.stats.add(&f.stats)
+				f.stats = MatchStats{MasterSize: x.stats.MasterSize}
+			}
+		}
+	}
+
+	// Commit: rewind each item's propose-time writes and replay its ops
+	// through the engine's own write path, in worklist order.
+	progress := 0
+	for idx := range props {
+		ops := props[idx].ops
+		if len(ops) == 0 {
+			continue
+		}
+		if i, ok := activeTuple(items[idx]); ok {
+			e.setActive(phase, ri, i)
+		}
+		e.rewind(ops)
+		for _, o := range ops {
+			progress += e.replay(o)
+		}
+	}
+	e.clearActive()
+	return progress
+}
+
+// applyTuples runs one per-tuple rule over the given tuple ids (ascending),
+// inline when the pool is off or the worklist is trivial, sharded through
+// the pool otherwise.
+func (e *Engine) applyTuples(phase, ri int, ids []int, fn func(*applier, int) int) int {
+	if e.pool == nil || len(ids) < 2 {
+		progress := 0
+		for _, i := range ids {
+			e.setActive(phase, ri, i)
+			progress += fn(e.ap, i)
+		}
+		e.clearActive()
+		return progress
+	}
+	return runParallel(e.pool, e, phase, ri, ids,
+		func(i int) (int, bool) { return i, true }, fn)
+}
+
+// applyGroups runs one variable-CFD rule over the given group snapshots
+// (ordered by first member), inline or through the pool. Group appliers
+// run without the scheduler's in-flight-tuple suppression, exactly like
+// the sequential loops.
+func (e *Engine) applyGroups(phase, ri int, groups [][]int, fn func(*applier, []int) int) int {
+	if e.pool == nil || len(groups) < 2 {
+		progress := 0
+		for _, g := range groups {
+			progress += fn(e.ap, g)
+		}
+		return progress
+	}
+	return runParallel(e.pool, e, phase, ri, groups,
+		func([]int) (int, bool) { return 0, false }, fn)
+}
+
+// allTupleIDs returns the cached identity worklist 0..Len-1 that full-visit
+// seeding rounds iterate.
+func (e *Engine) allTupleIDs() []int {
+	if e.allIDs == nil {
+		e.allIDs = make([]int, e.data.Len())
+		for i := range e.allIDs {
+			e.allIDs[i] = i
+		}
+	}
+	return e.allIDs
+}
+
+// add accumulates o's counters into s.
+func (s *ApplyStats) add(o *ApplyStats) {
+	s.CTuples += o.CTuples
+	s.CGroups += o.CGroups
+	s.ETuples += o.ETuples
+	s.HTuples += o.HTuples
+}
+
+// add accumulates o's work counters into s. MasterSize is a property of the
+// master relation, not a counter, and is left alone.
+func (s *MatchStats) add(o *MatchStats) {
+	s.Lookups += o.Lookups
+	s.Candidates += o.Candidates
+	s.Verified += o.Verified
+	s.FullScans += o.FullScans
+}

@@ -1,0 +1,192 @@
+package clean
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// TestParallelWorkerSweep pins the worker-count independence of the
+// parallel applier layer: every worker count — including 1, which must
+// take the inline sequential path (no pool is built) — produces results
+// identical to the sequential incremental engine, down to the work
+// counters, on both the randomized corpus and the MD-heavy figure1
+// workload.
+func TestParallelWorkerSweep(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		for seed := int64(0); seed < 25; seed++ {
+			in := genInstance(seed)
+			seq := Run(in.relation(nil), nil, in.rules, DefaultOptions())
+			par := Run(in.relation(nil), nil, in.rules, opts)
+			if d := diffParallel(par, seq); d != "" {
+				t.Fatalf("seed %d, %d workers: %s", seed, workers, d)
+			}
+			if workers == 1 && par.WorkerVisits != nil {
+				t.Fatalf("1 worker must not build a pool, got WorkerVisits %v", par.WorkerVisits)
+			}
+		}
+		data, master, rules := figure1(t)
+		seq := Run(data, master, rules, DefaultOptions())
+		data, master, rules = figure1(t)
+		par := Run(data, master, rules, opts)
+		if d := diffParallel(par, seq); d != "" {
+			t.Fatalf("figure1, %d workers: %s", workers, d)
+		}
+	}
+}
+
+// TestParallelDeterminism runs the parallel engine repeatedly on the same
+// instances: the goroutine interleavings of the propose step and the map
+// iteration order underneath the appliers vary run to run, and none of it
+// may show in the result — the commit merge and the total-order tie-breaks
+// are the only places ordering can come from.
+func TestParallelDeterminism(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 4
+	for seed := int64(0); seed < 20; seed++ {
+		in := genInstance(seed)
+		first := Run(in.relation(nil), nil, in.rules, opts)
+		for rep := 1; rep < 6; rep++ {
+			again := Run(in.relation(nil), nil, in.rules, opts)
+			if d := diffParallel(again, first); d != "" {
+				t.Fatalf("seed %d, repetition %d: parallel run not deterministic: %s", seed, rep, d)
+			}
+		}
+	}
+}
+
+// TestParallelRescanStaysSequential pins that the full-rescan reference
+// engine ignores Workers: it is the correctness oracle, and must stay the
+// plain sequential computation whatever the options say.
+func TestParallelRescanStaysSequential(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Rescan, opts.Workers = true, 8
+	in := genInstance(7)
+	res := Run(in.relation(nil), nil, in.rules, opts)
+	if res.WorkerVisits != nil {
+		t.Fatalf("rescan engine built a worker pool: WorkerVisits %v", res.WorkerVisits)
+	}
+	opts.Workers = 1
+	ref := Run(in.relation(nil), nil, in.rules, opts)
+	if d := diffParallel(res, ref); d != "" {
+		t.Fatalf("rescan result depends on Workers: %s", d)
+	}
+}
+
+// TestParallelWorkerVisitsReported pins the -bench reporting contract of
+// the per-worker counters: with the pool on, WorkerVisits has one slot per
+// worker and the slots sum to at most the total visits (trivial worklists
+// run inline on the merge goroutine and are attributed to no worker).
+func TestParallelWorkerVisitsReported(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 3
+	data, master, rules := figure1(t)
+	res := Run(data, master, rules, opts)
+	if len(res.WorkerVisits) != 3 {
+		t.Fatalf("WorkerVisits = %v, want one slot per worker", res.WorkerVisits)
+	}
+	var sum int64
+	for _, v := range res.WorkerVisits {
+		sum += v
+	}
+	if sum <= 0 {
+		t.Errorf("no visits attributed to any worker: %v", res.WorkerVisits)
+	}
+	if total := int64(res.TotalVisits()); sum > total {
+		t.Errorf("worker visits %d exceed total visits %d", sum, total)
+	}
+}
+
+// TestHTargetTieBreakDeterminism is the map-iteration-order audit pin for
+// hTarget: its candidate loop ranges over a map, and only the strict total
+// order of its comparison chain (confidence sum, count, master support,
+// lexicographic) keeps the choice deterministic. Both tie levels — master
+// support and lexicographic — are exercised many times in one process,
+// where Go randomizes map iteration order per loop, and in parallel mode,
+// where worker scheduling varies too. The workload is the hrepairInput one:
+// the k1/k2 conflict only materializes inside the HRepair fixpoint, after
+// eRepair (which has its own tie-break, pinned separately) has finished.
+func TestHTargetTieBreakDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		for rep := 0; rep < 30; rep++ {
+			// Master-support tie-break: k1 and k2 tie on confidence and
+			// count; the master value reachable through the MD blocking
+			// index must beat the lexicographically smaller k1 every time.
+			data, master, rules := hrepairInput(t, true)
+			res := Run(data, master, rules, opts)
+			for i := 0; i < 2; i++ {
+				if got := res.Data.Tuples[i].Values[2]; got != "k2" {
+					t.Fatalf("%d workers, rep %d: master tie-break chose %q, want k2", workers, rep, got)
+				}
+			}
+			// Lexicographic tie-break: same tie without master data.
+			data, _, rules = hrepairInput(t, false)
+			res = Run(data, nil, rules, opts)
+			if got := res.Data.Tuples[0].Values[2]; got != "k1" {
+				t.Fatalf("%d workers, rep %d: lex tie-break chose %q, want k1", workers, rep, got)
+			}
+		}
+	}
+}
+
+// TestResolveGroupTieBreakDeterminism is the audit pin for eRepair's
+// resolveGroup, whose plurality loop also ranges over a map: on a full tie
+// (equal count, equal confidence sum) the lexicographically smaller value
+// must win every time.
+func TestResolveGroupTieBreakDeterminism(t *testing.T) {
+	dschema := relation.NewSchema("R", "B", "C")
+	rules := rule.Derive([]*cfd.CFD{cfd.FD("fd", dschema, []string{"B"}, "C")}, nil)
+	for rep := 0; rep < 100; rep++ {
+		data := relation.New(dschema)
+		data.Append("b1", "x2")
+		data.Append("b1", "x1")
+		data.SetAllConf(0.5)
+		res := Run(data, nil, rules, DefaultOptions())
+		for _, tp := range res.Data.Tuples {
+			if got := tp.Values[1]; got != "x1" {
+				t.Fatalf("rep %d: resolveGroup tie chose %q, want x1", rep, got)
+			}
+		}
+	}
+}
+
+// TestParallelOuterFixpoint reruns the outer-fixpoint regression with the
+// pool on: a possible fix whose derived confidence reaches eta enables a
+// deterministic rule on a later pass, and the parallel engine must follow
+// the same pass structure (the budget and freeze state span passes).
+func TestParallelOuterFixpoint(t *testing.T) {
+	dschema := relation.NewSchema("R", "A", "B", "C")
+	rules := rule.Derive([]*cfd.CFD{
+		cfd.FD("fdAB", dschema, []string{"A"}, "B"),
+		cfd.New("constBC", dschema, []string{"B"}, []string{"b1"}, "C", "c9"),
+	}, nil)
+	mk := func() *relation.Relation {
+		data := relation.New(dschema)
+		data.Append("a1", "b1", "c0")
+		data.Append("a1", "b1", "c0")
+		data.Append("a1", "b2", "c0")
+		for _, tp := range data.Tuples {
+			tp.Conf[0] = 0.9
+			tp.Conf[1] = 0.5
+			tp.Conf[2] = 0.5
+		}
+		return data
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	seq := Run(mk(), nil, rules, DefaultOptions())
+	par := Run(mk(), nil, rules, opts)
+	if d := diffParallel(par, seq); d != "" {
+		t.Fatalf("outer fixpoint diverges under the pool: %s", d)
+	}
+	if len(par.Unresolved) != 0 {
+		t.Fatalf("pipeline left rules unresolved: %v", fmt.Sprint(par.Unresolved))
+	}
+}

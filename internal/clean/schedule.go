@@ -24,6 +24,13 @@ import (
 // fire that rule — re-processing it is a no-op that records nothing — so
 // skipping it leaves Fixes, Asserts, Conflicts and the certified Report
 // byte-for-byte identical to the full-rescan reference (Options.Rescan).
+//
+// Group keys are interned: each distinct LHS projection string maps to a
+// dense int32 symbol once, and the index, the dirty sets and the per-tuple
+// key cache all hash and compare symbols. Key strings were the write path's
+// hot spot — every noteWrite to an LHS attribute rebuilt the projection
+// string and re-hashed it into the groups map plus one dirty map per
+// consumer phase.
 
 // Worklist consumer phases. cRepair and hRepair each consume tuple- and
 // group-level dirtiness independently; eRepair consumes group-level
@@ -35,11 +42,37 @@ const (
 	numPhases
 )
 
+// symtab interns the LHS projection keys of one variable CFD: key strings
+// are stored once and handled as dense int32 symbols afterwards.
+type symtab struct {
+	ids  map[string]int32
+	strs []string
+	buf  []byte // reusable key-building scratch; hits allocate nothing
+}
+
+func newSymtab() *symtab { return &symtab{ids: make(map[string]int32)} }
+
+// intern returns the symbol of t's projection on attrs.
+func (s *symtab) intern(t *relation.Tuple, attrs []int) int32 {
+	s.buf = relation.AppendKey(s.buf[:0], t, attrs)
+	if id, ok := s.ids[string(s.buf)]; ok {
+		return id
+	}
+	key := string(s.buf)
+	id := int32(len(s.strs))
+	s.ids[key] = id
+	s.strs = append(s.strs, key)
+	return id
+}
+
+// str returns the key string behind a symbol.
+func (s *symtab) str(id int32) string { return s.strs[id] }
+
 // igroup is one LHS-equal group of a variable CFD in the persistent index.
 // Members are tuple indexes kept sorted ascending, matching the relation
 // order that cfd.Groups produces.
 type igroup struct {
-	key     string
+	key     int32
 	members []int
 }
 
@@ -63,31 +96,33 @@ func (g *igroup) remove(i int) {
 // a write since that phase last took them.
 type groupIndex struct {
 	c      *cfd.CFD
-	member []bool   // per tuple: currently matches the LHS pattern
-	key    []string // per tuple: current group key, valid when member
-	groups map[string]*igroup
-	dirty  [numPhases]map[string]bool
+	syms   *symtab
+	member []bool  // per tuple: currently matches the LHS pattern
+	key    []int32 // per tuple: current group key symbol, valid when member
+	groups map[int32]*igroup
+	dirty  [numPhases]map[int32]bool
 }
 
 func newGroupIndex(c *cfd.CFD, d *relation.Relation) *groupIndex {
 	gi := &groupIndex{
 		c:      c,
+		syms:   newSymtab(),
 		member: make([]bool, d.Len()),
-		key:    make([]string, d.Len()),
-		groups: make(map[string]*igroup),
+		key:    make([]int32, d.Len()),
+		groups: make(map[int32]*igroup),
 	}
 	for p := range gi.dirty {
-		gi.dirty[p] = make(map[string]bool)
+		gi.dirty[p] = make(map[int32]bool)
 	}
 	for i, t := range d.Tuples {
 		if c.MatchLHS(t) {
-			gi.place(i, t.Key(c.LHS))
+			gi.place(i, gi.syms.intern(t, c.LHS))
 		}
 	}
 	return gi
 }
 
-func (gi *groupIndex) place(i int, key string) {
+func (gi *groupIndex) place(i int, key int32) {
 	g := gi.groups[key]
 	if g == nil {
 		g = &igroup{key: key}
@@ -97,7 +132,7 @@ func (gi *groupIndex) place(i int, key string) {
 	gi.member[i], gi.key[i] = true, key
 }
 
-func (gi *groupIndex) markDirty(key string) {
+func (gi *groupIndex) markDirty(key int32) {
 	for p := range gi.dirty {
 		gi.dirty[p][key] = true
 	}
@@ -110,9 +145,9 @@ func (gi *groupIndex) markDirty(key string) {
 func (gi *groupIndex) update(i, a int, t *relation.Tuple) {
 	if hasAttr(gi.c.LHS, a) {
 		newMember := gi.c.MatchLHS(t)
-		newKey := ""
+		newKey := int32(-1)
 		if newMember {
-			newKey = t.Key(gi.c.LHS)
+			newKey = gi.syms.intern(t, gi.c.LHS)
 		}
 		switch {
 		case newMember != gi.member[i] || (newMember && newKey != gi.key[i]):
@@ -124,7 +159,7 @@ func (gi *groupIndex) update(i, a int, t *relation.Tuple) {
 				}
 				gi.markDirty(gi.key[i])
 			}
-			gi.member[i], gi.key[i] = false, ""
+			gi.member[i], gi.key[i] = false, -1
 			if newMember {
 				gi.place(i, newKey)
 				gi.markDirty(newKey)
@@ -139,15 +174,18 @@ func (gi *groupIndex) update(i, a int, t *relation.Tuple) {
 }
 
 // takeKeys drains and returns the dirty group keys of one consumer phase.
-func (gi *groupIndex) takeKeys(phase int) []string {
+// The order is map order — every consumer derives order-independent state
+// from the keys (AVL entries keyed by (entropy, id), sorted group listings,
+// summed counters), which the determinism tests pin.
+func (gi *groupIndex) takeKeys(phase int) []int32 {
 	if len(gi.dirty[phase]) == 0 {
 		return nil
 	}
-	out := make([]string, 0, len(gi.dirty[phase]))
+	out := make([]int32, 0, len(gi.dirty[phase]))
 	for k := range gi.dirty[phase] {
 		out = append(out, k)
 	}
-	gi.dirty[phase] = make(map[string]bool)
+	gi.dirty[phase] = make(map[int32]bool)
 	return out
 }
 
@@ -350,7 +388,7 @@ func (s *scheduler) takeGroups(phase, ri int) [][]int {
 // clearGroups drops the phase's dirty group marks of a variable CFD before a
 // full scan covers them.
 func (s *scheduler) clearGroups(phase, ri int) {
-	s.gidx[ri].dirty[phase] = make(map[string]bool)
+	s.gidx[ri].dirty[phase] = make(map[int32]bool)
 }
 
 // allGroups snapshots every group of a variable CFD, ordered by first
@@ -373,7 +411,7 @@ func (s *scheduler) allGroups(ri int) [][]int {
 func (s *scheduler) resetE() {
 	for _, gi := range s.gidx {
 		if gi != nil {
-			gi.dirty[phaseE] = make(map[string]bool)
+			gi.dirty[phaseE] = make(map[int32]bool)
 		}
 	}
 }

@@ -116,6 +116,7 @@ func Equivalent(d, dm *relation.Relation, g1, g2 []*MD) bool {
 	return SatisfiesAll(d, dm, g1) == SatisfiesAll(d, dm, g2)
 }
 
+// String renders the negative MD in the paper's arrow notation.
 func (n *Negative) String() string {
 	s := ""
 	for i, p := range n.LHS {

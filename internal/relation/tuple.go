@@ -82,19 +82,27 @@ func (t *Tuple) Project(attrs []int) []string {
 // an ASCII unit separator, and occurrences of the separator or the escape
 // byte inside values are escaped.
 func (t *Tuple) Key(attrs []int) string {
-	var b strings.Builder
+	return string(AppendKey(nil, t, attrs))
+}
+
+// AppendKey appends the canonical projection key of t on attrs (the same
+// encoding as Key) to dst and returns the extended slice. Hot paths — the
+// scheduler's group-key interner, the MD equality-blocking lookup — build
+// keys into a reusable buffer and probe maps with string(buf), so a key
+// lookup allocates nothing.
+func AppendKey(dst []byte, t *Tuple, attrs []int) []byte {
 	for i, a := range attrs {
 		if i > 0 {
-			b.WriteByte(0x1f) // ASCII unit separator
+			dst = append(dst, 0x1f) // ASCII unit separator
 		}
 		v := t.Values[a]
 		if strings.IndexByte(v, 0x1f) >= 0 || strings.IndexByte(v, 0x1e) >= 0 {
 			v = strings.ReplaceAll(v, "\x1e", "\x1e\x02")
 			v = strings.ReplaceAll(v, "\x1f", "\x1e\x01")
 		}
-		b.WriteString(v)
+		dst = append(dst, v...)
 	}
-	return b.String()
+	return dst
 }
 
 // Set assigns value v to attribute a with confidence cf and mark m.

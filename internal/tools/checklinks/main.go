@@ -1,0 +1,72 @@
+// Command checklinks verifies that the relative links in the given Markdown
+// files resolve to existing files or directories. CI runs it over README.md
+// and docs/ so the architecture book cannot silently rot as files move.
+//
+// Usage:
+//
+//	go run ./internal/tools/checklinks README.md docs/*.md
+//
+// Only inline links ([text](target)) are checked. External targets (a URL
+// scheme or a protocol-relative //host), pure in-page anchors (#...) and
+// mailto: links are skipped; a #fragment on a relative target is stripped
+// before the existence check. Exit status 1 lists every broken link.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links, ignoring images (![alt](src) is
+// matched too — image targets must resolve just the same).
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checklinks file.md [file.md ...]")
+		os.Exit(1)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checklinks: %v\n", err)
+			broken++
+			continue
+		}
+		dir := filepath.Dir(path)
+		for _, m := range linkRe.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "checklinks: %s: broken link %q\n", path, m[1])
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "checklinks: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skip reports whether the link target points outside the repository.
+func skip(target string) bool {
+	if strings.HasPrefix(target, "#") || strings.HasPrefix(target, "//") {
+		return true
+	}
+	// A URL scheme (http:, https:, mailto:, ...) before any path separator.
+	if i := strings.IndexByte(target, ':'); i >= 0 && !strings.ContainsAny(target[:i], "/.") {
+		return true
+	}
+	return false
+}
