@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRatioGuardsZeroDenominator pins the division guard: a zero denominator
+// — a zero-duration timing on a coarse clock, or an empty visit counter —
+// must yield 0, never +Inf or NaN.
+func TestRatioGuardsZeroDenominator(t *testing.T) {
+	cases := []struct {
+		num, den, want float64
+	}{
+		{10, 2, 5},
+		{10, 0, 0},
+		{0, 0, 0},
+		{0, 7, 0},
+	}
+	for _, c := range cases {
+		got := ratio(c.num, c.den)
+		if got != c.want || math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("ratio(%v, %v) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+// TestBenchReportMarshalsWithZeroDenominators is the regression test for the
+// -bench crash: Speedup, VisitRatio and ParallelSpeedup used to divide by
+// measured values that can legitimately be zero, and the resulting +Inf/NaN
+// made json.Marshal of BENCH_<sha>.json fail with an UnsupportedValueError,
+// killing the whole run after the benchmark had already completed.
+func TestBenchReportMarshalsWithZeroDenominators(t *testing.T) {
+	reports := []benchReport{
+		{}, // everything zero: the coarse-clock worst case
+		{RescanNs: 12345},                     // incremental timed at 0
+		{IncrementalNs: 12345},                // parallel timed at 0
+		{RescanVisits: 99},                    // zero-visit incremental report
+		{RescanNs: 5, IncrementalNs: 2, ParallelNs: 1, RescanVisits: 10, IncrementalVisits: 4},
+	}
+	for i, rep := range reports {
+		rep.deriveRatios()
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Errorf("report %d: json.Marshal failed: %v", i, err)
+			continue
+		}
+		if strings.Contains(string(buf), "Inf") || strings.Contains(string(buf), "NaN") {
+			t.Errorf("report %d: non-finite value leaked into JSON: %s", i, buf)
+		}
+	}
+	// The fully measured case must still compute the real ratios.
+	rep := reports[len(reports)-1]
+	rep.deriveRatios()
+	if rep.Speedup != 2.5 || rep.VisitRatio != 2.5 || rep.ParallelSpeedup != 2 {
+		t.Errorf("derived ratios = %v/%v/%v, want 2.5/2.5/2",
+			rep.Speedup, rep.VisitRatio, rep.ParallelSpeedup)
+	}
+}
+
+// TestCheckBaselineSkipsWallGateOnCoarseClock: when a measured duration is
+// zero the paired-run wall-clock gates are meaningless (the guarded ratios
+// are 0) and must be skipped rather than fail the run; the visit gates still
+// apply.
+func TestCheckBaselineSkipsWallGateOnCoarseClock(t *testing.T) {
+	base := benchReport{RescanVisits: 100, IncrementalVisits: 20, RescanNs: 400, IncrementalNs: 100}
+	base.deriveRatios() // baseline speedup 4x
+	rep := benchReport{RescanVisits: 100, IncrementalVisits: 20} // all timings 0
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err != nil {
+		t.Errorf("zero-clock report failed the gate: %v", err)
+	}
+
+	// With real timings the paired gates bite: slower than rescan fails...
+	rep.RescanNs, rep.IncrementalNs = 100, 200
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err == nil {
+		t.Error("incremental slower than rescan passed the gate")
+	}
+	// ...as does keeping less than 1/pairedSpeedupSlack of the baseline speedup.
+	rep.RescanNs, rep.IncrementalNs = 110, 100
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err == nil {
+		t.Error("collapsed paired speedup passed the gate")
+	}
+	// A healthy paired run passes.
+	rep.RescanNs, rep.IncrementalNs = 300, 100
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err != nil {
+		t.Errorf("healthy paired run failed the gate: %v", err)
+	}
+}

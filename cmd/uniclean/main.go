@@ -11,7 +11,9 @@
 // cleaning report — fix counts, matcher statistics, conflicts and the
 // resolution status of every rule — goes to stderr. With -certify, the
 // Checker's full violation report is printed when the output is still
-// dirty.
+// dirty. Certification honors -workers too: its per-rule passes fan out
+// across the same pool as the repair appliers, and the report is identical
+// for any worker count.
 //
 // With -bench, the tool instead generates a synthetic dirty instance
 // (internal/gen), runs the pipeline with the full-rescan reference
@@ -85,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	certify := fs.Bool("certify", false, "print the checker's violation report when the output is still dirty")
 	verbose := fs.Bool("v", false, "list every fix in the report")
 	rescan := fs.Bool("rescan", false, "use the full-rescan reference scheduler instead of the delta-driven one")
-	workers := fs.Int("workers", 0, "parallel applier workers (0 = GOMAXPROCS, 1 = sequential); any value yields identical fixes and repaired output")
+	workers := fs.Int("workers", 0, "parallel applier and certification workers (0 = GOMAXPROCS, 1 = sequential); any value yields identical fixes, repaired output and -certify report")
 	bench := fs.Bool("bench", false, "run the synthetic benchmark instead of cleaning CSV input")
 	benchTuples := fs.Int("bench.tuples", 10000, "bench: data relation size")
 	benchMaster := fs.Int("bench.master", 1000, "bench: master relation size")

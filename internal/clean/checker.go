@@ -47,8 +47,14 @@ type Report struct {
 	// Truncated is the number of violations counted but not materialized
 	// because their rule exceeded maxStoredPerRule.
 	Truncated int
+	// CertVisits counts the (tuple, master) premise verifications performed
+	// while certifying MD rules: the deterministic work measure of the
+	// blocked certification path, identical for any worker count. The naive
+	// nested scan costs |D|·|Dm| per MD rule; the blocked enumeration
+	// verifies only index candidates. Zero when no MD rule was checked.
+	CertVisits int
 
-	byRule    map[string]int // exact violations per rule name
+	byRule    map[string]int // exact violations per checked rule name
 	cfds, mds int            // exact counts by dependency kind
 }
 
@@ -82,8 +88,14 @@ func (r *Report) MDViolations() []Violation {
 	return out
 }
 
-// RuleClean reports whether the named rule has no violations.
-func (r *Report) RuleClean(name string) bool { return r.byRule[name] == 0 }
+// RuleClean reports whether the named rule was checked and has no
+// violations. known is false when no checked rule bears that name — a
+// mistyped or stale name must not read as "certified clean", which is what
+// the old single-return form silently did.
+func (r *Report) RuleClean(name string) (clean, known bool) {
+	n, ok := r.byRule[name]
+	return ok && n == 0, ok
+}
 
 // String renders the report, one violation per line, with a summary header.
 func (r *Report) String() string {
@@ -107,120 +119,204 @@ func (r *Report) String() string {
 // termination proof behind Result.Resolved/Unresolved, cmd/uniclean's
 // -certify flag prints it, and the test suite uses it as the oracle for
 // randomized instances.
+//
+// Certification never scans |D|·|Dm| when an index exists: equality-clause
+// MDs enumerate candidates from the matcher's equality buckets, and
+// similarity-clause MDs from its generalized suffix tree — an exact,
+// untruncated enumeration (unlike the repair path's TopL blocking) whose
+// order-preserving candidate merge streams violations in the same (T, S)
+// order the nested scan would produce, so the Report is byte-identical.
+// Per-rule passes are independent and read-only; with workers > 1 they fan
+// out across a bounded pool with forked matchers, and the rule-ordered
+// report merge keeps the Report deterministic for any worker count.
 type Checker struct {
 	rules  []rule.Rule
 	master *relation.Relation
+
+	// matchers is parallel to rules: the blocking indexes MD certification
+	// enumerates candidates from. NewChecker builds them; Engine.Finish
+	// hands the checker the engine's own, so indexes are built once per run.
+	matchers []*matcher
+	// allMaster is the identity candidate list 0..|Dm|-1 the per-tuple
+	// full-scan fallback uses (no usable index, or the LCS bound is vacuous
+	// for a too-short value). Shared read-only across workers.
+	allMaster []int
+	// workers bounds the per-rule certification fan-out of Check.
+	workers int
+	// noBlock forces the naive |D|·|Dm| scan for every MD — the reference
+	// enumeration the blocked-vs-scan property tests compare against.
+	noBlock bool
 }
 
-// NewChecker builds a checker over the given rules. master may be nil, in
-// which case MD rules are vacuously satisfied (there is nothing to match
-// against), mirroring the engine's behavior.
+// NewChecker builds a checker over the given rules, including the MD
+// blocking indexes over master. master may be nil, in which case MD rules
+// are vacuously satisfied (there is nothing to match against), mirroring
+// the engine's behavior. The checker is sequential; the engine's Finish
+// runs certification through the worker pool instead.
 func NewChecker(rules []rule.Rule, master *relation.Relation) *Checker {
-	return &Checker{rules: rules, master: master}
+	matchers := make([]*matcher, len(rules))
+	if master != nil {
+		for i, r := range rules {
+			if r.Kind == rule.MatchMD {
+				matchers[i] = newMatcher(r.MD, master)
+			}
+		}
+	}
+	return newChecker(rules, master, matchers, 1)
+}
+
+// newChecker wires a checker from prebuilt matchers (parallel to rules) and
+// a worker budget — the constructor Engine.Finish uses to reuse the engine's
+// indexes and Options.Workers.
+func newChecker(rules []rule.Rule, master *relation.Relation, matchers []*matcher, workers int) *Checker {
+	c := &Checker{rules: rules, master: master, matchers: matchers, workers: workers}
+	if master != nil {
+		for _, r := range rules {
+			if r.Kind == rule.MatchMD {
+				c.allMaster = make([]int, master.Len())
+				for j := range c.allMaster {
+					c.allMaster[j] = j
+				}
+				break
+			}
+		}
+	}
+	return c
+}
+
+// ruleReport is one rule's certification outcome, produced independently —
+// possibly on a pool worker — and merged into the Report in rule order.
+// The per-rule violation cap is self-contained, so the merge is pure
+// concatenation and counter summing.
+type ruleReport struct {
+	violations []Violation
+	count      int // exact violations, including beyond the cap
+	truncated  int
+	visits     int // (t, s) premise verifications (MD rules only)
 }
 
 // Check certifies d against every rule and returns the violation report.
-// It never mutates d.
+// It never mutates d. Per-rule passes run concurrently when the checker
+// has a worker budget; the report is identical for any worker count.
 func (c *Checker) Check(d *relation.Relation) *Report {
-	rep := &Report{byRule: make(map[string]int)}
-	for _, r := range c.rules {
-		name := r.Name()
-		switch r.Kind {
-		case rule.MatchMD:
-			if c.master == nil {
-				continue
-			}
-			// Streamed rather than materialized: md.Violations would build
-			// the worst-case O(|D|·|Dm|) pair slice before the per-rule cap
-			// could drop anything.
-			c.visitMDViolations(d, r.MD, func(v md.Violation) bool {
-				if rep.byRule[name] >= maxStoredPerRule {
-					// Beyond the cap: tally without formatting the detail.
-					rep.count(name, r.Kind)
-					rep.Truncated++
-					return true
-				}
-				// A violating (t, s) pair disagrees on at least one
-				// conclusion pair; report the first one that does, so the
-				// report stays right even for MDs that were not normalized
-				// to a single-pair conclusion.
-				p := r.MD.RHS[0]
-				for _, q := range r.MD.RHS {
-					if d.Tuples[v.T].Values[q.DataAttr] != c.master.Tuples[v.S].Values[q.MasterAttr] {
-						p = q
-						break
-					}
-				}
-				attr := d.Schema.Attrs[p.DataAttr]
-				rep.add(Violation{
-					Rule: name, Kind: r.Kind, Attribute: attr,
-					Tuples: []int{v.T}, Master: v.S,
-					Detail: fmt.Sprintf("%s: t%d[%s] = %q, matched master tuple %d says %q",
-						name, v.T, attr, d.Tuples[v.T].Values[p.DataAttr],
-						v.S, c.master.Tuples[v.S].Values[p.MasterAttr]),
-				})
-				return true
-			})
-		default:
-			for _, v := range cfd.Violations(d, r.CFD) {
-				tuples := []int{v.T1}
-				if v.T2 >= 0 {
-					tuples = append(tuples, v.T2)
-				}
-				rep.add(Violation{
-					Rule: name, Kind: r.Kind,
-					Attribute: d.Schema.Attrs[v.Attr],
-					Tuples:    tuples, Master: -1,
-					Detail: v.String(),
-				})
-			}
+	subs := make([]ruleReport, len(c.rules))
+	if c.workers <= 1 {
+		for ri := range c.rules {
+			subs[ri] = c.checkRule(d, ri, c.matchers[ri])
 		}
+	} else {
+		// Certification is read-only, so rules need no propose/commit
+		// machinery — just disjoint result slots. Matchers are forked per
+		// task (shared immutable indexes, private scratch), exactly as the
+		// parallel appliers fork them.
+		fanOut(c.workers, len(c.rules), func(ri int) {
+			x := c.matchers[ri]
+			if x != nil {
+				x = x.fork()
+			}
+			subs[ri] = c.checkRule(d, ri, x)
+		})
+	}
+
+	// Ordered merge: rule order, concatenation, order-independent sums —
+	// byte-identical to the sequential pass for any worker count.
+	rep := &Report{byRule: make(map[string]int, len(c.rules))}
+	for ri := range subs {
+		rr := &subs[ri]
+		name := c.rules[ri].Name()
+		rep.byRule[name] += rr.count // creates the entry even at zero: "checked"
+		if c.rules[ri].Kind == rule.MatchMD {
+			rep.mds += rr.count
+		} else {
+			rep.cfds += rr.count
+		}
+		rep.Violations = append(rep.Violations, rr.violations...)
+		rep.Truncated += rr.truncated
+		rep.CertVisits += rr.visits
 	}
 	return rep
 }
 
-// visitMDViolations streams the violating (t, s) pairs of m in (T, S) order.
-// When the MD has equality clauses, candidates come from an equality
-// blocking index over the master relation instead of the O(|D|·|Dm|) nested
-// scan of md.VisitViolations — certification was otherwise the dominant cost
-// of a whole Run on indexed workloads. The enumeration is exact: index
-// buckets hold ascending master indexes, the full premise is re-verified on
-// every candidate, and a pair outside the candidate set fails its equality
-// clause, so the same violations appear in the same order as the scan.
-func (c *Checker) visitMDViolations(d *relation.Relation, m *md.MD, fn func(md.Violation) bool) {
-	eqData, eqMaster := eqClauses(m)
-	if len(eqData) == 0 {
-		md.VisitViolations(d, c.master, m, fn)
-		return
-	}
-	idx := buildEqIndex(c.master, eqMaster)
-	for i, t := range d.Tuples {
-		for _, j := range idx[t.Key(eqData)] {
-			s := c.master.Tuples[j]
-			if m.MatchLHS(t, s) && !m.RHSHolds(t, s) {
-				if !fn(md.Violation{MD: m, T: i, S: j}) {
-					return
+// checkRule certifies d against rule ri alone, enumerating MD candidates
+// through x (nil only when master data is absent, making the MD vacuous).
+func (c *Checker) checkRule(d *relation.Relation, ri int, x *matcher) ruleReport {
+	r := c.rules[ri]
+	var rr ruleReport
+	switch r.Kind {
+	case rule.MatchMD:
+		if c.master == nil {
+			return rr // vacuously satisfied, still recorded as checked
+		}
+		name := r.Name()
+		c.visitMDViolations(d, r.MD, x, &rr.visits, func(v md.Violation) bool {
+			rr.count++
+			if len(rr.violations) >= maxStoredPerRule {
+				// Beyond the cap: tally without formatting the detail.
+				rr.truncated++
+				return true
+			}
+			// A violating (t, s) pair disagrees on at least one
+			// conclusion pair; report the first one that does, so the
+			// report stays right even for MDs that were not normalized
+			// to a single-pair conclusion.
+			p := r.MD.RHS[0]
+			for _, q := range r.MD.RHS {
+				if d.Tuples[v.T].Values[q.DataAttr] != c.master.Tuples[v.S].Values[q.MasterAttr] {
+					p = q
+					break
 				}
 			}
+			attr := d.Schema.Attrs[p.DataAttr]
+			rr.violations = append(rr.violations, Violation{
+				Rule: name, Kind: r.Kind, Attribute: attr,
+				Tuples: []int{v.T}, Master: v.S,
+				Detail: fmt.Sprintf("%s: t%d[%s] = %q, matched master tuple %d says %q",
+					name, v.T, attr, d.Tuples[v.T].Values[p.DataAttr],
+					v.S, c.master.Tuples[v.S].Values[p.MasterAttr]),
+			})
+			return true
+		})
+	default:
+		for _, v := range cfd.Violations(d, r.CFD) {
+			rr.count++
+			if len(rr.violations) >= maxStoredPerRule {
+				rr.truncated++
+				continue
+			}
+			tuples := []int{v.T1}
+			if v.T2 >= 0 {
+				tuples = append(tuples, v.T2)
+			}
+			rr.violations = append(rr.violations, Violation{
+				Rule: r.Name(), Kind: r.Kind,
+				Attribute: d.Schema.Attrs[v.Attr],
+				Tuples:    tuples, Master: -1,
+				Detail: v.String(),
+			})
 		}
 	}
+	return rr
 }
 
-func (r *Report) add(v Violation) {
-	r.count(v.Rule, v.Kind)
-	if r.byRule[v.Rule] > maxStoredPerRule {
-		r.Truncated++
-		return
-	}
-	r.Violations = append(r.Violations, v)
-}
-
-// count tallies a violation without materializing it.
-func (r *Report) count(ruleName string, kind rule.Kind) {
-	r.byRule[ruleName]++
-	if kind == rule.MatchMD {
-		r.mds++
-	} else {
-		r.cfds++
-	}
+// visitMDViolations streams the violating (t, s) pairs of m in (T, S) order,
+// counting every examined pair into visited. Candidates come from the
+// matcher's exact certification enumeration (equality buckets or the
+// untruncated suffix-tree merge, both ascending) instead of the O(|D|·|Dm|)
+// nested scan of md.VisitViolations. The enumeration is exact: a pair
+// outside the candidate set fails a premise clause, and candidates arrive
+// ascending per tuple, so the same violations appear in the same order as
+// the scan. Tuples no index covers exactly — a value shorter than the LCS
+// bound allows, or an MD with no indexable clause at all — fall back to
+// scanning Dm for that tuple only.
+func (c *Checker) visitMDViolations(d *relation.Relation, m *md.MD, x *matcher, visited *int, fn func(md.Violation) bool) {
+	md.VisitViolationsBlocked(d, c.master, m, func(i int, t *relation.Tuple) []int {
+		if x != nil && !c.noBlock {
+			if ids, ok := x.certCandidates(t); ok {
+				*visited += len(ids)
+				return ids
+			}
+		}
+		*visited += len(c.allMaster)
+		return c.allMaster
+	}, fn)
 }

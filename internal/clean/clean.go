@@ -335,9 +335,14 @@ func (e *Engine) Finish() *Result {
 	if e.pool != nil {
 		e.res.WorkerVisits = append([]int64(nil), e.pool.visits...)
 	}
-	e.res.Report = NewChecker(e.rules, e.master).Check(e.data)
+	// The checker reuses the engine's own blocking matchers (indexes are
+	// built once per run) and fans its per-rule passes across the same
+	// worker budget the appliers had; the rule-ordered report merge keeps
+	// the Report deterministic for any worker count, so -certify output is
+	// identical whatever -workers says.
+	e.res.Report = newChecker(e.rules, e.master, e.matchers, e.opts.workerCount()).Check(e.data)
 	for _, r := range e.rules {
-		if e.res.Report.RuleClean(r.Name()) {
+		if clean, _ := e.res.Report.RuleClean(r.Name()); clean {
 			e.res.Resolved = append(e.res.Resolved, r.Name())
 		} else {
 			e.res.Unresolved = append(e.res.Unresolved, r.Name())

@@ -142,8 +142,11 @@ func TestCheckerStructuredReport(t *testing.T) {
 			t.Errorf("MD violation %+v lacks a master tuple", v)
 		}
 	}
-	if rep.RuleClean("cfd1") {
-		t.Error("RuleClean(cfd1) = true on a violated rule")
+	if clean, known := rep.RuleClean("cfd1"); clean || !known {
+		t.Errorf("RuleClean(cfd1) = (%v, %v) on a checked, violated rule", clean, known)
+	}
+	if clean, known := rep.RuleClean("no-such-rule"); clean || known {
+		t.Errorf("RuleClean on an unchecked name = (%v, %v); a typo must not read as certified clean", clean, known)
 	}
 	s := rep.String()
 	if !strings.Contains(s, "dirty:") || !strings.Contains(s, "cfd1:") {

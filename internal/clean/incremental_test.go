@@ -52,6 +52,11 @@ func diffResults(inc, ref *Result) string {
 	if got, want := inc.Report.String(), ref.Report.String(); got != want {
 		return fmt.Sprintf("Reports differ:\nincremental: %s\nrescan:      %s", got, want)
 	}
+	if inc.Report.CertVisits != ref.Report.CertVisits {
+		// Both engines certify the same repaired relation through the same
+		// blocked enumeration, so even this work counter must agree.
+		return fmt.Sprintf("certify visits: %d vs %d", inc.Report.CertVisits, ref.Report.CertVisits)
+	}
 	for i, t := range inc.Data.Tuples {
 		u := ref.Data.Tuples[i]
 		for a := range t.Values {
@@ -237,12 +242,13 @@ func TestCheckerMDBlockingIsExact(t *testing.T) {
 	data, master, rules := figure1(t)
 	// Check the dirty input directly (not a repair) so violations exist.
 	c := NewChecker(rules, master)
-	for _, r := range rules {
+	for ri, r := range rules {
 		if r.Kind != rule.MatchMD {
 			continue
 		}
 		var blocked []md.Violation
-		c.visitMDViolations(data, r.MD, func(v md.Violation) bool {
+		visited := 0
+		c.visitMDViolations(data, r.MD, c.matchers[ri], &visited, func(v md.Violation) bool {
 			blocked = append(blocked, v)
 			return true
 		})
@@ -252,6 +258,9 @@ func TestCheckerMDBlockingIsExact(t *testing.T) {
 		}
 		if len(naive) == 0 {
 			t.Errorf("%s: dirty figure1 input has no MD violations; test is vacuous", r.Name())
+		}
+		if scan := data.Len() * master.Len(); visited >= scan {
+			t.Errorf("%s: blocked certification visited %d pairs, not below the %d-pair scan", r.Name(), visited, scan)
 		}
 	}
 }

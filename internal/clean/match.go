@@ -40,14 +40,16 @@ type matcher struct {
 	// Lookup scratch, reused across probes so the hot path does not
 	// allocate per tuple: idsBuf backs the candidate list, keyBuf backs the
 	// equality-index key (probed as string(keyBuf), which allocates
-	// nothing), and seen/seenGen dedupe candidates produced by several
+	// nothing), seen/seenGen dedupe candidates produced by several
 	// blocking keys (first occurrence wins, preserving the verification
-	// order) so no master tuple is verified twice for one probe. Scratch is
-	// private per matcher; pool workers probe through forks.
-	idsBuf  []int
-	keyBuf  []byte
-	seen    []uint64
-	seenGen uint64
+	// order) so no master tuple is verified twice for one probe, and
+	// certLists backs the per-string id lists certCandidates merges.
+	// Scratch is private per matcher; pool workers probe through forks.
+	idsBuf    []int
+	keyBuf    []byte
+	seen      []uint64
+	seenGen   uint64
+	certLists [][]int
 
 	stats MatchStats
 }
@@ -59,7 +61,7 @@ type matcher struct {
 // order-independent sums after each parallel phase.
 func (x *matcher) fork() *matcher {
 	f := *x
-	f.idsBuf, f.keyBuf, f.seen, f.seenGen = nil, nil, nil, 0
+	f.idsBuf, f.keyBuf, f.seen, f.seenGen, f.certLists = nil, nil, nil, 0, nil
 	f.stats = MatchStats{MasterSize: x.stats.MasterSize}
 	return &f
 }
@@ -189,6 +191,104 @@ func (x *matcher) block(t *relation.Tuple, topL int) (ids []int, fullScan bool) 
 	default:
 		return x.allIDs, true
 	}
+}
+
+// certCandidates returns, in ascending master-tuple order, an exact blocking
+// superset of the master tuples on which x's MD premise can hold for t:
+// every (t, s) pair with s outside the returned set fails at least one
+// premise clause. ok is false when no index yields an exact superset for
+// this tuple — the MD has no equality clause and either no suffix tree was
+// built (no edit-distance clause) or t's value is too short for the LCS
+// pigeonhole bound to hold (len(v) <= K, where v can be edited into anything
+// without leaving a piece intact) — and the caller must fall back to
+// scanning Dm for this tuple.
+//
+// Unlike block it never truncates: block serves repair, where TopL capping a
+// candidate list only costs recall, while certCandidates serves the Checker,
+// where a dropped candidate would falsify the certified Report. The returned
+// slice shares the matcher's scratch and is only valid until the next
+// lookup; the matcher's statistics are untouched (certification must not
+// count as matching work).
+func (x *matcher) certCandidates(t *relation.Tuple) (ids []int, ok bool) {
+	switch {
+	case x.eqIndex != nil:
+		// Exact: a master tuple outside the bucket differs on an equality
+		// clause's projection. Buckets hold ascending indexes.
+		x.keyBuf = relation.AppendKey(x.keyBuf[:0], t, x.eqDataAttrs)
+		return x.eqIndex[string(x.keyBuf)], true
+	case x.tree != nil:
+		v := t.Values[x.simData]
+		if relation.IsNull(v) {
+			return nil, true // the edit clause never matches null
+		}
+		minLen := len(v) / (x.simK + 1)
+		if minLen < 1 {
+			return nil, false // bound vacuous: K edits can consume all of v
+		}
+		// Every master value within edit distance K of v contains one of
+		// v's K+1 pieces unchanged, i.e. shares a substring of length >=
+		// minLen — so the tree enumeration is an exact superset. Each
+		// matched string id maps to the ascending list of master tuples
+		// holding that value; the lists are pairwise disjoint (one value
+		// per tuple), and the order-preserving merge below restores the
+		// single ascending order a nested scan would visit.
+		lists := x.certLists[:0]
+		for _, sid := range x.tree.StringsWithCommonSubstring(v, minLen) {
+			if l := x.treeIDs[sid]; len(l) > 0 {
+				lists = append(lists, l)
+			}
+		}
+		x.certLists = lists
+		x.idsBuf = mergeAscending(lists, x.idsBuf[:0])
+		return x.idsBuf, true
+	default:
+		return nil, false // no usable index (e.g. a lone Jaro clause)
+	}
+}
+
+// mergeAscending merges ascending, pairwise-disjoint int lists into out,
+// preserving ascending order — the order-preserving candidate merge of the
+// blocked certification path. A binary min-heap over the list heads keeps
+// the merge O(n log k) without materializing and sorting the union. The
+// heads of lists are consumed in place; the underlying arrays are not
+// touched.
+func mergeAscending(lists [][]int, out []int) []int {
+	switch len(lists) {
+	case 0:
+		return out
+	case 1:
+		return append(out, lists[0]...)
+	}
+	down := func(k int) {
+		for {
+			l := 2*k + 1
+			if l >= len(lists) {
+				return
+			}
+			if r := l + 1; r < len(lists) && lists[r][0] < lists[l][0] {
+				l = r
+			}
+			if lists[k][0] <= lists[l][0] {
+				return
+			}
+			lists[k], lists[l] = lists[l], lists[k]
+			k = l
+		}
+	}
+	for k := len(lists)/2 - 1; k >= 0; k-- {
+		down(k)
+	}
+	for len(lists) > 0 {
+		out = append(out, lists[0][0])
+		if rest := lists[0][1:]; len(rest) > 0 {
+			lists[0] = rest
+		} else {
+			lists[0] = lists[len(lists)-1]
+			lists = lists[:len(lists)-1]
+		}
+		down(0)
+	}
+	return out
 }
 
 // verify filters candidate ids down to those on which the full premise

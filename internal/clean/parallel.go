@@ -315,6 +315,40 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 	return progress
 }
 
+// fanOut runs fn(task) for every task in [0, tasks) across up to workers
+// goroutines pulling task indexes from an atomic cursor. It is the
+// read-only sibling of runParallel for passes with no proposals to merge —
+// the Checker's per-rule certification fan-out — where tasks write only
+// their own task-indexed result slot and the caller merges in task order
+// afterwards, so the outcome is identical for any worker count.
+func fanOut(workers, tasks int, fn func(task int)) {
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for task := 0; task < tasks; task++ {
+			fn(task)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task := int(cursor.Add(1)) - 1
+				if task >= tasks {
+					return
+				}
+				fn(task)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // applyTuples runs one per-tuple rule over the given tuple ids (ascending),
 // inline when the pool is off or the worklist is trivial, sharded through
 // the pool otherwise.

@@ -68,6 +68,50 @@ func (s *symtab) intern(t *relation.Tuple, attrs []int) int32 {
 // str returns the key string behind a symbol.
 func (s *symtab) str(id int32) string { return s.strs[id] }
 
+// dirtySet is a generation-stamped dirty-tuple set: one per (per-tuple rule,
+// consumer phase). It replaced map[int]bool after profiles showed
+// mapassign_fast64 dominating the write path (ROADMAP (i)) — noteWrite marks
+// a tuple on every engine write, so marking must be an array stamp, not a
+// hash insert. A tuple is marked when its stamp equals the current
+// generation; draining bumps the generation instead of clearing, so there is
+// no per-round reallocation or sweep.
+type dirtySet struct {
+	stamp []uint64 // per tuple: generation at which it was last marked
+	gen   uint64   // current generation; stamp[i] == gen means marked
+	items []int    // marked tuples in insertion order, deduped via stamp
+}
+
+func newDirtySet(n int) *dirtySet {
+	return &dirtySet{stamp: make([]uint64, n), gen: 1}
+}
+
+// mark adds tuple i to the set; re-marking is a cheap no-op.
+func (s *dirtySet) mark(i int) {
+	if s.stamp[i] != s.gen {
+		s.stamp[i] = s.gen
+		s.items = append(s.items, i)
+	}
+}
+
+// take drains the set and returns the marked tuples in ascending order —
+// the order a full scan visits them, as takeTuples always promised.
+func (s *dirtySet) take() []int {
+	if len(s.items) == 0 {
+		return nil
+	}
+	out := make([]int, len(s.items))
+	copy(out, s.items)
+	sort.Ints(out)
+	s.clear()
+	return out
+}
+
+// clear empties the set in O(1) by advancing the generation.
+func (s *dirtySet) clear() {
+	s.gen++
+	s.items = s.items[:0]
+}
+
 // igroup is one LHS-equal group of a variable CFD in the persistent index.
 // Members are tuple indexes kept sorted ascending, matching the relation
 // order that cfd.Groups produces.
@@ -197,8 +241,8 @@ type scheduler struct {
 	attrRules [][]int       // attribute -> indexes of rules reading it
 	gidx      []*groupIndex // parallel to rules; nil unless VariableCFD
 	lhsSet    []map[int]bool
-	dirtyC    []map[int]bool
-	dirtyH    []map[int]bool
+	dirtyC    []*dirtySet // per-tuple rules: cRepair consumer worklist
+	dirtyH    []*dirtySet // per-tuple rules: hRepair consumer worklist
 
 	// attrHExtra maps an attribute to the variable-CFD rules whose hRepair
 	// target choice reads it indirectly: hTarget breaks ties by master-data
@@ -230,8 +274,8 @@ func newScheduler(rules []rule.Rule, d *relation.Relation) *scheduler {
 		attrRules:  make([][]int, d.Schema.Arity()),
 		gidx:       make([]*groupIndex, len(rules)),
 		lhsSet:     make([]map[int]bool, len(rules)),
-		dirtyC:     make([]map[int]bool, len(rules)),
-		dirtyH:     make([]map[int]bool, len(rules)),
+		dirtyC:     make([]*dirtySet, len(rules)),
+		dirtyH:     make([]*dirtySet, len(rules)),
 		activeRule: -1,
 	}
 	for ri, r := range rules {
@@ -252,8 +296,8 @@ func newScheduler(rules []rule.Rule, d *relation.Relation) *scheduler {
 		if r.Kind == rule.VariableCFD {
 			s.gidx[ri] = newGroupIndex(r.CFD, d)
 		} else {
-			s.dirtyC[ri] = make(map[int]bool)
-			s.dirtyH[ri] = make(map[int]bool)
+			s.dirtyC[ri] = newDirtySet(d.Len())
+			s.dirtyH[ri] = newDirtySet(d.Len())
 		}
 	}
 	s.attrHExtra = make([][]int, d.Schema.Arity())
@@ -316,10 +360,10 @@ func (s *scheduler) noteWrite(i, a int, t *relation.Tuple) {
 			}
 		}
 		if markC {
-			s.dirtyC[ri][i] = true
+			s.dirtyC[ri].mark(i)
 		}
 		if markH {
-			s.dirtyH[ri][i] = true
+			s.dirtyH[ri].mark(i)
 		}
 	}
 	// Indirect hRepair reads: the write may flip a master tie-break for a
@@ -331,7 +375,7 @@ func (s *scheduler) noteWrite(i, a int, t *relation.Tuple) {
 	}
 }
 
-func (s *scheduler) tupleSet(phase, ri int) map[int]bool {
+func (s *scheduler) tupleSet(phase, ri int) *dirtySet {
 	if phase == phaseH {
 		return s.dirtyH[ri]
 	}
@@ -341,28 +385,14 @@ func (s *scheduler) tupleSet(phase, ri int) map[int]bool {
 // takeTuples drains the dirty tuples of a per-tuple rule for one consumer
 // phase, in ascending tuple order — the order a full scan visits them.
 func (s *scheduler) takeTuples(phase, ri int) []int {
-	set := s.tupleSet(phase, ri)
-	if len(set) == 0 {
-		return nil
-	}
-	out := make([]int, 0, len(set))
-	for i := range set {
-		out = append(out, i)
-	}
-	sort.Ints(out)
-	s.clearTuples(phase, ri)
-	return out
+	return s.tupleSet(phase, ri).take()
 }
 
 // clearTuples drops the phase's dirty marks for a per-tuple rule; a full
 // scan about to visit every tuple calls it so the marks it covers are not
 // re-processed next round.
 func (s *scheduler) clearTuples(phase, ri int) {
-	if phase == phaseH {
-		s.dirtyH[ri] = make(map[int]bool)
-	} else {
-		s.dirtyC[ri] = make(map[int]bool)
-	}
+	s.tupleSet(phase, ri).clear()
 }
 
 // takeGroups drains the dirty groups of a variable CFD for one consumer

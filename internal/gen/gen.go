@@ -8,9 +8,15 @@
 //
 // The schema is R(provider, name, phone, zip, city, state) with master
 // M(provider, name, phone, zip). The rule set exercises all three rule
-// kinds: variable CFDs zip -> city and zip -> state, RuleFanout constant
-// CFDs pinning hot zip codes to their city, and an MD matching provider
-// numbers against the master to repair name, phone and zip.
+// kinds and both MD blocking indexes: variable CFDs zip -> city and
+// zip -> state, RuleFanout constant CFDs pinning hot zip codes to their
+// city, an equality-premise MD matching provider numbers against the master
+// to repair name, phone and zip, and a similarity-only MD (edit distance on
+// name, no equality clause) repairing phone — the workload that drives the
+// suffix-tree blocking and the blocked certification path. Master names are
+// long random strings, pairwise far apart in edit distance, so the
+// similarity premise matches a name only against its own (possibly typo'd)
+// master record, never a neighbor's.
 package gen
 
 import (
@@ -21,6 +27,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/relation"
 	"repro/internal/rule"
+	"repro/internal/similarity"
 )
 
 // Config parameterizes one synthetic instance.
@@ -121,13 +128,31 @@ func Generate(cfg Config) *Instance {
 		zipCity[z] = fmt.Sprintf("city-%03d", z%nCity)
 		zipState[z] = fmt.Sprintf("ST%02d", z%50)
 	}
+	// Names are 12 random letters: two distinct names are then far beyond
+	// any small edit threshold with overwhelming probability (sequential
+	// name-%06d codes would sit at edit distance 1–2 from their neighbors
+	// and make the similarity MD cross-match providers). Uniqueness is
+	// enforced so the clean world satisfies the MD by construction.
+	usedNames := make(map[string]bool, cfg.MasterSize)
+	randName := func() string {
+		for {
+			b := []byte("nm-............")
+			for k := 3; k < len(b); k++ {
+				b[k] = byte('a' + rng.Intn(26))
+			}
+			if n := string(b); !usedNames[n] {
+				usedNames[n] = true
+				return n
+			}
+		}
+	}
 	provZip := make([]int, cfg.MasterSize)
 	master := relation.New(mschema)
 	for p := 0; p < cfg.MasterSize; p++ {
 		provZip[p] = rng.Intn(nZip)
 		master.Append(
 			fmt.Sprintf("prov-%06d", p),
-			fmt.Sprintf("name-%06d", p),
+			randName(),
 			fmt.Sprintf("555-%07d", p),
 			zips[provZip[p]],
 		)
@@ -197,6 +222,13 @@ func Generate(cfg Config) *Instance {
 			{Data: "phone", Master: "phone"},
 			{Data: "zip", Master: "zip"},
 		})
-	inst.Rules = rule.Derive(cfds, m.Normalize())
+	// The similarity-only MD has no equality clause, so it matches and
+	// certifies through the generalized suffix tree: a typo'd name (two
+	// appended characters, edit distance 2) still reaches its own master
+	// record, while distinct random names stay unmatched.
+	sim := md.New("md_name_sim", dschema, mschema,
+		[]md.ClauseSpec{md.Sim("name", "name", similarity.EditWithin(2))},
+		[]md.PairSpec{{Data: "phone", Master: "phone"}})
+	inst.Rules = rule.Derive(cfds, append(m.Normalize(), sim))
 	return inst
 }

@@ -185,6 +185,29 @@ func VisitViolations(d, dm *relation.Relation, m *MD, fn func(Violation) bool) {
 	}
 }
 
+// VisitViolationsBlocked streams the violating (t, s) pairs of m like
+// VisitViolations, but restricts each data tuple's inner loop to the master
+// indexes produced by a blocking candidate enumerator. candidates(i, t) must
+// return master tuple indexes in ascending order, and the returned set must
+// be exact for certification — a superset of every s on which m's premise
+// can hold for t (pairs outside it must fail the premise) — so the streamed
+// violations are precisely those of the nested scan, in the same (T, S)
+// order. The returned slice is only borrowed: it may be reused by the next
+// candidates call.
+func VisitViolationsBlocked(d, dm *relation.Relation, m *MD,
+	candidates func(i int, t *relation.Tuple) []int, fn func(Violation) bool) {
+	for i, t := range d.Tuples {
+		for _, j := range candidates(i, t) {
+			s := dm.Tuples[j]
+			if m.MatchLHS(t, s) && !m.RHSHolds(t, s) {
+				if !fn(Violation{MD: m, T: i, S: j}) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Violations returns all violating (t, s) pairs of m on (D, Dm).
 func Violations(d, dm *relation.Relation, m *MD) []Violation {
 	var out []Violation

@@ -255,3 +255,60 @@ func TestStringRendering(t *testing.T) {
 		t.Errorf("negative String() = %q", got)
 	}
 }
+
+// TestVisitViolationsBlockedMatchesScan pins the blocked streaming contract:
+// with an exact candidate enumerator (here: all master indexes, and a
+// premise-filtered subset), VisitViolationsBlocked must produce exactly the
+// violations of the nested scan, in the same (T, S) order.
+func TestVisitViolationsBlockedMatchesScan(t *testing.T) {
+	ds, ms := schemas()
+	dm := masterData(ms)
+	d := relation.New(ds)
+	d.Append("Bob", "Brady", "5 Wren St", "Ldn", "020", "WC1H 9SE", "1111111", "", "", "", "")
+	d.Append("Robert", "Brady", "5 Wren St", "Ldn", "020", "WC1H 9SE", "2222222", "", "", "", "")
+	d.Append("Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778", "", "", "", "")
+	m := psi(ds, ms)
+
+	want := Violations(d, dm, m)
+	if len(want) == 0 {
+		t.Fatal("instance has no violations; test is vacuous")
+	}
+	all := make([]int, dm.Len())
+	for j := range all {
+		all[j] = j
+	}
+	var got []Violation
+	VisitViolationsBlocked(d, dm, m, func(int, *relation.Tuple) []int { return all },
+		func(v Violation) bool { got = append(got, v); return true })
+	if len(got) != len(want) {
+		t.Fatalf("blocked found %d violations, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].T != want[i].T || got[i].S != want[i].S {
+			t.Fatalf("violation %d: blocked (%d,%d) != scan (%d,%d)",
+				i, got[i].T, got[i].S, want[i].T, want[i].S)
+		}
+	}
+	// A candidate enumerator may prune pairs that fail the premise without
+	// changing the stream.
+	got = got[:0]
+	VisitViolationsBlocked(d, dm, m, func(_ int, tp *relation.Tuple) []int {
+		var ids []int
+		for j, s := range dm.Tuples {
+			if m.MatchLHS(tp, s) {
+				ids = append(ids, j)
+			}
+		}
+		return ids
+	}, func(v Violation) bool { got = append(got, v); return true })
+	if len(got) != len(want) {
+		t.Fatalf("premise-pruned blocked found %d violations, scan %d", len(got), len(want))
+	}
+	// Early exit must stop the stream.
+	n := 0
+	VisitViolationsBlocked(d, dm, m, func(int, *relation.Tuple) []int { return all },
+		func(Violation) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-exit visitor called %d times, want 1", n)
+	}
+}

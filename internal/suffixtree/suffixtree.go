@@ -152,6 +152,38 @@ func (t *Tree) StringsContaining(sub string) []int {
 	return out
 }
 
+// StringsWithCommonSubstring returns the ids of every indexed string sharing
+// with v a common substring of length at least minLen, in ascending id order.
+// Unlike TopL it neither ranks nor truncates: with minLen chosen as the LCS
+// blocking bound max(1, |v|/(K+1)), the result is the *exact* superset of the
+// indexed strings within edit distance K of v — every string closer than K
+// shares an unedited piece of v at least that long — which is what lets the
+// Checker certify an edit-clause MD from the tree instead of scanning the
+// whole master relation. A minLen < 1 would make the bound vacuous (strings
+// sharing no substring with v can still be within distance K); callers must
+// handle that case themselves, so it panics here.
+func (t *Tree) StringsWithCommonSubstring(v string, minLen int) []int32 {
+	if minLen < 1 {
+		panic("suffixtree: StringsWithCommonSubstring needs minLen >= 1")
+	}
+	if len(v) < minLen {
+		return nil
+	}
+	best := make(map[int32]int)
+	for i := 0; i+minLen <= len(v); i++ {
+		t.walkFrom(v[i:], minLen, best)
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(best))
+	for id := range best {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Match is a blocking candidate: an indexed string and the length of its
 // longest common substring with the query.
 type Match struct {

@@ -198,3 +198,64 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestStringsWithCommonSubstringAgainstBruteForce pins the exact enumeration
+// the Checker's blocked certification relies on: for random trees and
+// queries, the result must be precisely the ids whose string shares a
+// substring of length >= minLen with the query — no ranking, no truncation —
+// in ascending id order.
+func TestStringsWithCommonSubstringAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	alpha := "abc"
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 50; trial++ {
+		tr := New()
+		seen := make(map[string]bool)
+		for i, n := 0, 4+rng.Intn(12); i < n; i++ {
+			s := randStr(2 + rng.Intn(9))
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			tr.Add(s)
+		}
+		v := randStr(2 + rng.Intn(9))
+		for minLen := 1; minLen <= 4; minLen++ {
+			got := tr.StringsWithCommonSubstring(v, minLen)
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("ids not ascending: %v", got)
+			}
+			gotSet := make(map[int32]bool, len(got))
+			for _, id := range got {
+				gotSet[id] = true
+			}
+			for id := 0; id < tr.Len(); id++ {
+				want := similarity.LCSubstring(v, tr.String(id)) >= minLen
+				if want != gotSet[int32(id)] {
+					t.Fatalf("query %q minLen %d: string %q (id %d) in result = %v, want %v",
+						v, minLen, tr.String(id), id, gotSet[int32(id)], want)
+				}
+			}
+		}
+	}
+}
+
+// TestStringsWithCommonSubstringRejectsVacuousBound: a minLen below 1 would
+// silently drop strings within edit distance of the query that share no
+// substring at all — the enumeration must refuse instead of being wrong.
+func TestStringsWithCommonSubstringRejectsVacuousBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("minLen 0 did not panic")
+		}
+	}()
+	tr := New()
+	tr.Add("abc")
+	tr.StringsWithCommonSubstring("ab", 0)
+}
