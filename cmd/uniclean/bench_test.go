@@ -35,10 +35,10 @@ func TestRatioGuardsZeroDenominator(t *testing.T) {
 // killing the whole run after the benchmark had already completed.
 func TestBenchReportMarshalsWithZeroDenominators(t *testing.T) {
 	reports := []benchReport{
-		{}, // everything zero: the coarse-clock worst case
-		{RescanNs: 12345},                     // incremental timed at 0
-		{IncrementalNs: 12345},                // parallel timed at 0
-		{RescanVisits: 99},                    // zero-visit incremental report
+		{},                     // everything zero: the coarse-clock worst case
+		{RescanNs: 12345},      // incremental timed at 0
+		{IncrementalNs: 12345}, // parallel timed at 0
+		{RescanVisits: 99},     // zero-visit incremental report
 		{RescanNs: 5, IncrementalNs: 2, ParallelNs: 1, RescanVisits: 10, IncrementalVisits: 4},
 	}
 	for i, rep := range reports {
@@ -67,7 +67,7 @@ func TestBenchReportMarshalsWithZeroDenominators(t *testing.T) {
 // apply.
 func TestCheckBaselineSkipsWallGateOnCoarseClock(t *testing.T) {
 	base := benchReport{RescanVisits: 100, IncrementalVisits: 20, RescanNs: 400, IncrementalNs: 100}
-	base.deriveRatios() // baseline speedup 4x
+	base.deriveRatios()                                          // baseline speedup 4x
 	rep := benchReport{RescanVisits: 100, IncrementalVisits: 20} // all timings 0
 	rep.deriveRatios()
 	if err := checkBaseline(rep, base, io.Discard); err != nil {

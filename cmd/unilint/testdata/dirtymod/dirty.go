@@ -1,0 +1,26 @@
+// Package dirty is a deliberately failing module the driver tests point
+// unilint at: one unsuppressed poolonly violation plus one reasonless
+// suppression, so the run must exit 1 with exactly two findings. The
+// maporder loop below does NOT count — dirtymod's import path is outside
+// the deterministic-output packages, so the driver's AppliesTo filter
+// drops that analyzer here.
+package dirty
+
+var m = map[string]int{}
+
+func sum() int {
+	n := 0
+	for _, v := range m { // outside maporder's package scope: no finding
+		n += v
+	}
+	return n
+}
+
+func spawn(fn func()) {
+	go fn() // poolonly finding: not in a file named parallel.go
+}
+
+func reasonless(fn func()) {
+	//det:ok poolonly
+	go fn() // suppressed — but the reasonless annotation is a detok finding
+}

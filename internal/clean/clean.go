@@ -201,7 +201,7 @@ func (r *Result) PossibleFixes() []Fix {
 // full-rescan engines.
 func (r *Result) TotalVisits() int {
 	n := 0
-	for _, s := range r.Apply {
+	for _, s := range r.Apply { //det:ok maporder integer sum is order-independent
 		n += s.Visits()
 	}
 	return n

@@ -131,7 +131,7 @@ func TestGoldenFigure1(t *testing.T) {
 
 	// MD matching must have gone through the equality index: no full scans,
 	// and far fewer candidates than lookups x |Dm|.
-	for name, st := range res.Match {
+	for name, st := range res.Match { //det:ok maporder per-rule assertions are independent; order affects only failure-message order
 		if st.FullScans != 0 {
 			t.Errorf("%s: %d full scans", name, st.FullScans)
 		}
@@ -150,6 +150,7 @@ func TestRunDoesNotMutateInput(t *testing.T) {
 	}
 	for i, tp := range data.Tuples {
 		for a := range tp.Marks {
+			//det:ok floateq bit-exact no-mutation check: the input confidences must be untouched, not approximately equal
 			if tp.Marks[a] != relation.FixNone || tp.Conf[a] != before.Tuples[i].Conf[a] {
 				t.Fatalf("Run mutated marks/confs of input tuple %d", i)
 			}
@@ -373,7 +374,7 @@ func TestConfidencePropagation(t *testing.T) {
 		[]md.PairSpec{{Data: "code", Master: "code"}})
 	res := Run(data, master, rule.Derive(nil, []*md.MD{m}), DefaultOptions())
 	det := res.DeterministicFixes()
-	if len(det) != 1 || det[0].Conf != 0.85 {
+	if len(det) != 1 || det[0].Conf != 0.85 { //det:ok floateq exact propagation check: the conf is copied from the premise, not recomputed
 		t.Fatalf("fixes = %v, want one fix with conf 0.85", det)
 	}
 }

@@ -115,7 +115,7 @@ func (e *Engine) ERepair() {
 	// full-rescan reference path, O(|D|) per call.
 	rebuild := func(vi int) {
 		prefix := strconv.Itoa(vi) + "|"
-		for id, g := range groups {
+		for id, g := range groups { //det:ok maporder keyed deletions; the set of removed entries does not depend on visit order
 			if strings.HasPrefix(id, prefix) {
 				tree.Delete(avl.Key{Entropy: g.entropy, ID: id})
 				delete(groups, id)
@@ -137,7 +137,7 @@ func (e *Engine) ERepair() {
 		// seed is about to cover.
 		e.sched.resetE()
 		for vi, ri := range varRules {
-			for kid := range e.sched.gidx[ri].groups {
+			for kid := range e.sched.gidx[ri].groups { //det:ok maporder rekey inserts into the AVL by (entropy, id) key; tree content and summed counters are insertion-order independent
 				rekeyFromIndex(vi, kid)
 			}
 		}
@@ -216,11 +216,11 @@ func (e *Engine) resolveGroup(c *cfd.CFD, g *egroup) bool {
 	}
 	var target string
 	if len(frozen) == 1 {
-		for v := range frozen {
+		for v := range frozen { //det:ok maporder single-entry map: len(frozen) == 1 on this branch
 			target = v
 		}
 	} else {
-		for v, n := range count {
+		for v, n := range count { //det:ok maporder strict total order (count, quantized conf, value) picks the same target from any visit order
 			switch m := count[target]; {
 			case target == "" || n > m,
 				n == m && quantConf(confSum[v]) > quantConf(confSum[target]),

@@ -148,7 +148,7 @@ func (ap *applier) hVariableGroup(ri int, c *cfd.CFD, members []int) int {
 		// broken lexicographically) survives as the next round's
 		// forced target, so the majority's data is kept.
 		keep := ""
-		for v, n := range frozen {
+		for v, n := range frozen { //det:ok maporder strict total order (count, value) picks the same survivor from any visit order
 			if keep == "" || n > frozen[keep] || (n == frozen[keep] && v < keep) {
 				keep = v
 			}
@@ -168,7 +168,7 @@ func (ap *applier) hVariableGroup(ri int, c *cfd.CFD, members []int) int {
 		// the heuristic copies is the plurality fraction of the group,
 		// as in eRepair — not the frozen source's, and never 1: the
 		// copies are still guesses.
-		for v := range frozen {
+		for v := range frozen { //det:ok maporder single-entry map: len(frozen) == 1 on this branch
 			target = v
 		}
 		n := 0
@@ -225,7 +225,7 @@ func (ap *applier) hTarget(c *cfd.CFD, members []int) (string, float64) {
 		return master[v]
 	}
 	target := ""
-	for v := range count {
+	for v := range count { //det:ok maporder strict total order (quantized conf, count, master support, value) pinned by TestHTargetTieBreakDeterminism
 		if target == "" {
 			target = v
 			continue

@@ -60,6 +60,7 @@ func diffResults(inc, ref *Result) string {
 	for i, t := range inc.Data.Tuples {
 		u := ref.Data.Tuples[i]
 		for a := range t.Values {
+			//det:ok floateq bit-for-bit cell identity across engines is the property under test
 			if t.Values[a] != u.Values[a] || t.Conf[a] != u.Conf[a] || t.Marks[a] != u.Marks[a] {
 				return fmt.Sprintf("cell t%d[%d]: (%q, %.3f, %v) vs (%q, %.3f, %v)",
 					i, a, t.Values[a], t.Conf[a], t.Marks[a], u.Values[a], u.Conf[a], u.Marks[a])
@@ -92,7 +93,7 @@ func diffParallel(par, seq *Result) string {
 
 func statsDump(m map[string]*ApplyStats) string {
 	names := make([]string, 0, len(m))
-	for name := range m {
+	for name := range m { //det:ok maporder names are sorted before rendering
 		names = append(names, name)
 	}
 	sort.Strings(names)

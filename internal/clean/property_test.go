@@ -113,7 +113,7 @@ func (in *propInstance) check(keep []bool) string {
 	for _, f := range res.Fixes {
 		last[[2]int{f.Tuple, f.Attr}] = f.Mark
 	}
-	for k, want := range last {
+	for k, want := range last { //det:ok maporder each cell check is independent; pass/fail is identical for any order
 		got := res.Data.Tuples[k[0]].Marks[k[1]]
 		if got != want && got != relation.FixDeterministic {
 			return fmt.Sprintf("cell t%d[%s] has mark %v, want %v (its last writer) or an assert upgrade",

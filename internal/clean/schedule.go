@@ -217,19 +217,22 @@ func (gi *groupIndex) update(i, a int, t *relation.Tuple) {
 	}
 }
 
-// takeKeys drains and returns the dirty group keys of one consumer phase.
-// The order is map order — every consumer derives order-independent state
-// from the keys (AVL entries keyed by (entropy, id), sorted group listings,
-// summed counters), which the determinism tests pin.
+// takeKeys drains and returns the dirty group keys of one consumer phase,
+// in ascending symbol order. Every consumer happens to derive
+// order-independent state from the keys (AVL entries keyed by (entropy, id),
+// sorted group listings, summed counters) — PR 4 audited exactly that by
+// hand — but sorting removes the argument: the keys leave here deterministic
+// and no future consumer can silently start depending on map order.
 func (gi *groupIndex) takeKeys(phase int) []int32 {
 	if len(gi.dirty[phase]) == 0 {
 		return nil
 	}
 	out := make([]int32, 0, len(gi.dirty[phase]))
-	for k := range gi.dirty[phase] {
+	for k := range gi.dirty[phase] { //det:ok maporder keys are sorted ascending below before anyone sees them
 		out = append(out, k)
 	}
 	gi.dirty[phase] = make(map[int32]bool)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -284,13 +287,13 @@ func newScheduler(rules []rule.Rule, d *relation.Relation) *scheduler {
 			s.lhsSet[ri][a] = true
 		}
 		reads := make(map[int]bool)
-		for a := range s.lhsSet[ri] {
+		for a := range s.lhsSet[ri] { //det:ok maporder set union into a set; no order escapes
 			reads[a] = true
 		}
 		for _, a := range r.RHSAttrs() {
 			reads[a] = true
 		}
-		for a := range reads {
+		for a := range reads { //det:ok maporder each attr appends to its own attrRules list; per-list order comes from the deterministic outer rule loop
 			s.attrRules[a] = append(s.attrRules[a], ri)
 		}
 		if r.Kind == rule.VariableCFD {
@@ -428,7 +431,7 @@ func (s *scheduler) clearGroups(phase, ri int) {
 func (s *scheduler) allGroups(ri int) [][]int {
 	gi := s.gidx[ri]
 	out := make([][]int, 0, len(gi.groups))
-	for _, g := range gi.groups {
+	for _, g := range gi.groups { //det:ok maporder snapshots are re-sorted by first member below; first members are distinct since groups partition the relation
 		out = append(out, append([]int(nil), g.members...))
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })

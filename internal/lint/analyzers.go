@@ -1,0 +1,8 @@
+package lint
+
+// All returns the analyzer suite in reporting order: every determinism and
+// concurrency invariant the engine's identity guarantee rests on, as a
+// checked property.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, PoolOnly, SinkWrite, FloatEq}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// quantHelper is the one function allowed to look at raw float identity: the
+// quantization helper that all confidence tie-breaks must go through.
+const quantHelper = "quantConf"
+
+// FloatEq flags == and != on floating-point operands in the
+// deterministic-output packages, outside the quantization helper. Summed
+// confidences differ in the last ulp depending on addition order (0.1+0.2 vs
+// 0.3), so raw float equality makes tie-breaks — and through them the fix
+// sequence — depend on evaluation order. Comparisons must quantize first
+// (quantConf(a) == quantConf(b), an int64 comparison); a raw comparison that
+// is genuinely safe must say why: //det:ok floateq <reason>.
+var FloatEq = &Analyzer{
+	Name:      "floateq",
+	Doc:       "== or != on floats outside the quantization helper",
+	AppliesTo: inDeterministicPkgs,
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Name.Name == quantHelper {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					bin, ok := n.(*ast.BinaryExpr)
+					if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+						return true
+					}
+					if isFloat(p.TypeOf(bin.X)) || isFloat(p.TypeOf(bin.Y)) {
+						p.Reportf(bin.OpPos,
+							"%s on floating-point values is order-of-evaluation sensitive in the last ulp; compare through %s or annotate //det:ok floateq <reason>",
+							bin.Op, quantHelper)
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/clean"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks the module packages matching the patterns,
+// rooted at the directory holding go.mod at or above dir, including each
+// package's in-package test files. Patterns follow the go tool's shape:
+// "./..." matches every package under the root, "./internal/clean" one
+// directory, "./internal/..." a subtree.
+//
+// Type-checking uses the toolchain's source importer, so the only external
+// requirement is the go toolchain itself (no x/tools, no prebuilt export
+// data). Type errors in a dependency are reported; analysis proceeds only
+// over packages that check cleanly.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	return load(dir, patterns, true)
+}
+
+// LoadProduction is Load without test files: the view `go build` compiles.
+func LoadProduction(dir string, patterns []string) ([]*Package, error) {
+	return load(dir, patterns, false)
+}
+
+func load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := matchDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := checkDir(fset, imp, root, modPath, d, tests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the directory containing go.mod and
+// returns it together with the declared module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found at or above %s", abs)
+		}
+	}
+}
+
+// matchDirs expands the patterns into the sorted set of directories under
+// root that contain non-test Go files.
+func matchDirs(root string, patterns []string) ([]string, error) {
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "." || pat == "" {
+			pat = root
+		} else {
+			pat = filepath.Join(root, strings.TrimPrefix(pat, "./"))
+		}
+		if !recursive {
+			if hasGoFiles(pat) {
+				set[pat] = true
+			}
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				set[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name(), false) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile reports whether name is a Go file the loader reads; test
+// files count only when tests is set (a package always needs at least one
+// non-test file to be loaded at all — see hasGoFiles).
+func isSourceFile(name string, tests bool) bool {
+	if !strings.HasSuffix(name, ".go") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	return tests || !strings.HasSuffix(name, "_test.go")
+}
+
+// checkDir parses and type-checks the package in dir, optionally with its
+// in-package test files (external _test packages are not loaded — this repo
+// has none, and they would form a second package per directory). It returns
+// nil when the directory holds no non-test Go files.
+func checkDir(fset *token.FileSet, imp types.Importer, root, modPath, dir string, tests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name(), tests) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasSuffix(e.Name(), "_test.go") && pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	if pkgName == "" {
+		return nil, nil
+	}
+	// Drop external-test-package files (package foo_test): they cannot be
+	// type-checked together with package foo.
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == pkgName {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: srcDirImporter{imp: imp, dir: dir}}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// srcDirImporter adapts the source importer's ImportFrom to the plain
+// Importer interface types.Config wants, pinning the source directory so
+// module-relative import paths resolve from the package being checked.
+type srcDirImporter struct {
+	imp types.Importer
+	dir string
+}
+
+func (s srcDirImporter) Import(path string) (*types.Package, error) {
+	if from, ok := s.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, s.dir, 0)
+	}
+	return s.imp.Import(path)
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// poolFile is the one file allowed to spawn goroutines: the bounded worker
+// pool with its propose/commit merge (runParallel) and the read-only
+// fan-out (fanOut) live there, and everything concurrent in the engine is
+// required to go through them.
+const poolFile = "parallel.go"
+
+// PoolOnly flags `go` statements outside parallel.go. The engine's whole
+// determinism argument rests on concurrency being funneled through the
+// bounded pool: workers write only item-owned cells, record everything else
+// as ops, and a single deterministic merge replays them — an ad-hoc
+// goroutine bypasses the propose/commit sink and reintroduces scheduling
+// order into the output. New concurrency either goes through
+// runParallel/fanOut or justifies itself: //det:ok poolonly <reason>.
+var PoolOnly = &Analyzer{
+	Name: "poolonly",
+	Doc:  "goroutine spawned outside the bounded pool (parallel.go)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if filepath.Base(p.Fset.Position(f.Pos()).Filename) == poolFile {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Go,
+						"go statement outside %s bypasses the bounded pool's propose/commit merge; use runParallel/fanOut or annotate //det:ok poolonly <reason>",
+						poolFile)
+				}
+				return true
+			})
+		}
+	},
+}

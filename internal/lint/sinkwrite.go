@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sharedTypes names the engine-shared structures of repro/internal/clean: a
+// worker writing through any of them races the other workers and — worse —
+// makes the output depend on goroutine scheduling. All worker effects must
+// instead be recorded through the applier sink (assert/fix/hfix/conflictf/
+// spend, ap.stat for counters) and committed by the deterministic merge.
+// The names are matched against types declared in the analyzed package, so
+// fixtures can declare their own.
+var sharedTypes = map[string]bool{
+	"Engine":     true,
+	"Result":     true,
+	"Report":     true,
+	"Checker":    true,
+	"scheduler":  true,
+	"groupIndex": true,
+	"dirtySet":   true,
+	"symtab":     true,
+	"pool":       true,
+}
+
+// workerScopeCalls are the functions whose function-literal arguments run on
+// pool workers, making those literals worker-scoped alongside *applier
+// methods and `go` statement bodies.
+var workerScopeCalls = map[string]bool{
+	"runParallel": true,
+	"fanOut":      true,
+	"applyTuples": true,
+	"applyGroups": true,
+}
+
+// SinkWrite flags assignments to engine/matcher shared state — the Engine
+// and its Result/Report, the scheduler with its group indexes, dirty sets
+// and symtabs, the pool — from worker-scoped code: *applier methods, `go`
+// statement bodies, and function literals handed to the pool
+// (runParallel/fanOut/applyTuples/applyGroups). Such a write escapes the
+// propose/commit sink: it races the other workers and injects scheduling
+// order into state the identity guarantee says is deterministic. Writes to
+// item-owned cells go through a local tuple binding (t := ap.e.data.Tuples[i])
+// — writing through the engine chain directly is flagged on purpose, since
+// the binding is what makes item ownership visible.
+//
+// The check is lexical over the selector chain of each left-hand side; an
+// alias that launders a shared pointer through an intermediate non-shared
+// type (s := ap.e.apply[ri]; s.CTuples++) is beyond it — the sanctioned
+// counter route is ap.stat(ri).
+var SinkWrite = &Analyzer{
+	Name:      "sinkwrite",
+	Doc:       "write to shared engine state from worker-scoped code",
+	AppliesTo: func(path string) bool { return path == "repro/internal/clean" },
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, body := range workerScopedBodies(f) {
+				checkSinkWrites(p, body)
+			}
+		}
+	},
+}
+
+// workerScopedBodies collects the function bodies of f that run on pool
+// workers: methods with an applier receiver, `go` statement literals, and
+// literal arguments to the pool entry points. Nested literals are covered
+// implicitly — the caller inspects each body recursively.
+func workerScopedBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Recv != nil && x.Body != nil && receiverName(x) == "applier" {
+				bodies = append(bodies, x.Body)
+			}
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				bodies = append(bodies, lit.Body)
+			}
+		case *ast.CallExpr:
+			if workerScopeCalls[calleeName(x)] {
+				for _, arg := range x.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						bodies = append(bodies, lit.Body)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return bodies
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (IndexExpr) don't occur here; an Ident is the base.
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.IndexExpr:
+		return calleeName(&ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeName(&ast.CallExpr{Fun: fun.X})
+	}
+	return ""
+}
+
+// checkSinkWrites reports every assignment or inc/dec inside body whose
+// target chain passes through a shared-typed value.
+func checkSinkWrites(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if base := sharedBase(p, lhs); base != "" {
+					p.Reportf(lhs.Pos(),
+						"write through shared %s from worker-scoped code escapes the propose/commit sink; record the effect through the applier (assert/fix/hfix/conflictf/spend, ap.stat) or annotate //det:ok sinkwrite <reason>",
+						base)
+				}
+			}
+		case *ast.IncDecStmt:
+			if base := sharedBase(p, x.X); base != "" {
+				p.Reportf(x.X.Pos(),
+					"write through shared %s from worker-scoped code escapes the propose/commit sink; record the effect through the applier (assert/fix/hfix/conflictf/spend, ap.stat) or annotate //det:ok sinkwrite <reason>",
+					base)
+			}
+		}
+		return true
+	})
+}
+
+// sharedBase walks the selector/index chain of an assignment target and
+// returns the name of the first shared type the chain passes through, or ""
+// when the write never touches shared state. A bare identifier target is
+// never a shared write — rebinding a local alias mutates nothing.
+func sharedBase(p *Pass, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return ""
+		}
+		if name := sharedTypeName(p, p.TypeOf(e)); name != "" {
+			return name
+		}
+	}
+}
+
+// sharedTypeName returns the shared-type name behind t (directly or one
+// pointer away) when t is declared in the analyzed package, else "".
+func sharedTypeName(p *Pass, t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != p.Pkg || !sharedTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,32 @@
+// Package detok is the fixture of the suppression-grammar check
+// (CheckSuppressions): annotations must name a known analyzer and carry a
+// written reason. Expectations live in TestSuppressionGrammar, not in
+// `// want` comments — the findings sit on the annotation lines themselves.
+package detok
+
+var m = map[int]int{}
+
+func noAnalyzer() {
+	//det:ok
+	for k := range m {
+		_ = k
+	}
+}
+
+func unknownAnalyzer() {
+	for k := range m { //det:ok nosuchcheck because reasons
+		_ = k
+	}
+}
+
+func noReason() {
+	for k := range m { //det:ok maporder
+		_ = k
+	}
+}
+
+func valid() {
+	for k := range m { //det:ok maporder summed into an int, order-independent
+		_ = k
+	}
+}

@@ -1,0 +1,41 @@
+// Package floateq is the golden fixture of the floateq analyzer.
+package floateq
+
+const eps = 1e-9
+
+// quantConf is the quantization helper: the one function allowed raw float
+// identity.
+func quantConf(x float64) int64 {
+	if x == 0 {
+		return 0
+	}
+	return int64(x / eps)
+}
+
+func bad(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want "floating-point"
+}
+
+func badConst(conf float64) bool {
+	return conf == 0.8 // want "floating-point"
+}
+
+func good(a, b float64) bool {
+	return quantConf(a) == quantConf(b)
+}
+
+func ordering(a, b float64) bool {
+	return a < b // ordering comparisons are fine: only identity is dust-sensitive
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func suppressed(conf float64) bool {
+	return conf == 0 //det:ok floateq sentinel zero is assigned verbatim, never computed
+}

@@ -1,0 +1,65 @@
+// Package maporder is the golden fixture of the maporder analyzer: loops
+// marked `// want` must be flagged, everything else must stay silent.
+package maporder
+
+import "sort"
+
+type set map[int]bool
+
+func sumInMapOrder(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "iteration over map"
+		s += v
+	}
+	return s
+}
+
+func keysInMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func namedMapType(s set) int {
+	n := 0
+	for k := range s { // want "iteration over map"
+		n += k
+	}
+	return n
+}
+
+func sliceIterationIsFine(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func channelIterationIsFine(ch chan int) int {
+	n := 0
+	for x := range ch {
+		n += x
+	}
+	return n
+}
+
+func suppressedWithReason(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //det:ok maporder keys are sorted below before anything reads them
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func suppressedLineAbove(m map[string]int) int {
+	n := 0
+	//det:ok maporder integer sum is order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

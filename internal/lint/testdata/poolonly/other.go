@@ -1,0 +1,18 @@
+package poolonly
+
+func adhoc(fn func()) {
+	go fn() // want "outside parallel.go"
+}
+
+func adhocLiteral(done chan struct{}) {
+	go func() { // want "outside parallel.go"
+		close(done)
+	}()
+}
+
+func suppressed(done chan struct{}) {
+	//det:ok poolonly shutdown watcher: writes nothing any engine output reads
+	go func() {
+		<-done
+	}()
+}

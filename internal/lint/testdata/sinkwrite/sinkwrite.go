@@ -1,0 +1,76 @@
+// Package sinkwrite is the golden fixture of the sinkwrite analyzer. It
+// declares miniature doubles of the engine's shared structures (the
+// analyzer matches shared types by name within the analyzed package) and
+// exercises each worker scope: applier methods, `go` statement bodies, and
+// function literals handed to the pool entry points.
+package sinkwrite
+
+type Result struct {
+	Asserts int
+	Fixes   []string
+}
+
+type Engine struct {
+	res  *Result
+	data []tuple
+}
+
+type tuple struct {
+	values []string
+	conf   []float64
+}
+
+type applier struct {
+	e       *Engine
+	buf     []string
+	scratch int
+}
+
+func runParallel(items []int, fn func(*applier, int)) {
+	for _, i := range items {
+		fn(nil, i)
+	}
+}
+
+func fanOut(workers, tasks int, fn func(int)) {
+	for task := 0; task < tasks; task++ {
+		fn(task)
+	}
+}
+
+// Worker-scoped method: writes through the engine chain escape the sink.
+func (ap *applier) bad(i int) {
+	ap.e.res.Asserts++                           // want "write through shared Result"
+	ap.e.res.Fixes = append(ap.e.res.Fixes, "x") // want "write through shared Result"
+	e := ap.e
+	e.res.Asserts += 2 // want "write through shared Result"
+}
+
+// Applier-owned state and item-owned cells are the sanctioned writes.
+func (ap *applier) good(i int) {
+	ap.buf = append(ap.buf, "x")
+	ap.scratch++
+	t := ap.e.data[i]
+	t.values[0] = "owned"
+	t.conf[0] = 1
+}
+
+func (ap *applier) suppressed() {
+	ap.e.res.Asserts++ //det:ok sinkwrite direct-commit mode: the caller holds the pool barrier
+}
+
+func launch(e *Engine, items []int) {
+	var shared Result
+	runParallel(items, func(ap *applier, i int) {
+		ap.e.res.Asserts++ // want "write through shared Result"
+		shared.Asserts++   // want "write through shared Result"
+	})
+	fanOut(2, len(items), func(task int) {
+		e.res.Fixes = append(e.res.Fixes, "y") // want "write through shared Result"
+	})
+	go func() {
+		e.res.Asserts++ // want "write through shared Result"
+	}()
+	// Outside worker scope the same write is the commit path: no finding.
+	e.res.Asserts++
+}

@@ -122,6 +122,7 @@ func Order(rules []Rule) []Rule {
 		comp := append([]int(nil), comps[i]...)
 		sort.SliceStable(comp, func(a, b int) bool {
 			ra, rb := ratio(comp[a]), ratio(comp[b])
+			//det:ok floateq ratios are single divisions of exact small ints: equal operands give bit-identical quotients, and ties fall through to the index tie-break
 			if ra != rb {
 				return ra > rb
 			}
