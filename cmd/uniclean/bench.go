@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"time"
@@ -20,7 +21,10 @@ import (
 // visits, not wall-clock. The parallel run must agree with the sequential
 // incremental run down to the visit counters (a hard failure otherwise);
 // only the per-worker split of those visits is scheduling-dependent, so
-// WorkerVisits is reported and never gated.
+// WorkerVisits is reported and never gated, while MaxWorkerShare condenses
+// the split into the one balance number worth watching — 1.0 is a perfect
+// split, Workers means one worker did everything — and is soft-gated
+// against the multicore baseline only.
 type benchReport struct {
 	Config            gen.Config
 	RescanNs          int64
@@ -35,6 +39,7 @@ type benchReport struct {
 	ParallelSpeedup   float64 // IncrementalNs / ParallelNs, same process and machine
 	ParallelVisits    int     // must equal IncrementalVisits
 	WorkerVisits      []int64 // per-worker propose visits; nondeterministic split
+	MaxWorkerShare    float64 // max/mean over WorkerVisits; 0 when no worker proposed
 	Fixes             int
 	Asserts           int
 	Conflicts         int
@@ -54,6 +59,25 @@ const maxVisitRegression = 1.20
 // gates stay the precise instrument.
 const pairedSpeedupSlack = 2.0
 
+// parallelWallFloor is the absolute floor of the parallel-vs-sequential
+// paired run: ParallelSpeedup must stay at or above it on every machine,
+// including single-core, where the fast path makes Workers: 4 degrade to
+// the sequential computation plus noise. The floor sits a tolerance below
+// 1.0 because a paired run cancels machine speed but not clock jitter; a
+// genuine "parallel is slower" regression lands well under it.
+const parallelWallFloor = 0.90
+
+// benchRounds is how many interleaved timing samples -bench takes of each
+// engine mode; the fastest sample is the reported duration.
+const benchRounds = 3
+
+// maxWorkerShareLimit is the soft balance gate: on a multicore baseline,
+// MaxWorkerShare beyond it — the busiest worker proposing more than twice
+// the mean — signals the stealing layer has stopped spreading work, but
+// only warns, because the split is scheduling noise on quiet and loaded
+// runners alike.
+const maxWorkerShareLimit = 2.0
+
 // ratio returns num/den, or 0 when den is zero: a zero-duration timing on a
 // coarse clock, or an empty visit counter, must not put +Inf or NaN into the
 // report — json.Marshal rejects non-finite floats with an
@@ -71,6 +95,15 @@ func (r *benchReport) deriveRatios() {
 	r.Speedup = ratio(float64(r.RescanNs), float64(r.IncrementalNs))
 	r.VisitRatio = ratio(float64(r.RescanVisits), float64(r.IncrementalVisits))
 	r.ParallelSpeedup = ratio(float64(r.IncrementalNs), float64(r.ParallelNs))
+	var sum, max int64
+	for _, v := range r.WorkerVisits {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := ratio(float64(sum), float64(len(r.WorkerVisits)))
+	r.MaxWorkerShare = ratio(float64(max), mean)
 }
 
 // runBench generates the configured synthetic instance, runs the full
@@ -81,23 +114,41 @@ func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr 
 	inst := gen.Generate(cfg)
 	opts := clean.DefaultOptions()
 
-	opts.Rescan, opts.Workers = true, 1
-	t0 := time.Now()
-	ref := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
-	rescanNs := time.Since(t0).Nanoseconds()
-
-	opts.Rescan = false
-	t0 = time.Now()
-	inc := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
-	incrementalNs := time.Since(t0).Nanoseconds()
-
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	opts.Workers = workers
-	t0 = time.Now()
-	par := clean.Run(inst.Data, inst.Master, inst.Rules, opts)
-	parallelNs := time.Since(t0).Nanoseconds()
+
+	// Each engine mode is timed benchRounds times, interleaved — rescan,
+	// incremental, parallel, then again — and the fastest sample wins. The
+	// pipeline is deterministic, so repeated runs compute identical
+	// results; interleaving matters because the jitter on shared runners
+	// (GC pauses, container CPU throttling) is epoch-correlated, and
+	// back-to-back same-mode samples used to swing the paired wall ratios
+	// ±15% and flake the wall gates.
+	modes := make([]clean.Options, 3)
+	modes[0] = opts
+	modes[0].Rescan, modes[0].Workers = true, 1
+	modes[1] = opts
+	modes[1].Rescan, modes[1].Workers = false, 1
+	modes[2] = opts
+	modes[2].Rescan, modes[2].Workers = false, workers
+	results := make([]*clean.Result, len(modes))
+	best := make([]int64, len(modes))
+	for round := 0; round < benchRounds; round++ {
+		for m, o := range modes {
+			t0 := time.Now()
+			res := clean.Run(inst.Data, inst.Master, inst.Rules, o)
+			if ns := time.Since(t0).Nanoseconds(); round == 0 || ns < best[m] {
+				best[m] = ns
+			}
+			if round == 0 {
+				results[m] = res
+			}
+		}
+	}
+	ref, rescanNs := results[0], best[0]
+	inc, incrementalNs := results[1], best[1]
+	par, parallelNs := results[2], best[2]
 
 	// The engines must agree fix-for-fix; a benchmark that measures
 	// different computations is worthless, so disagreement is a hard
@@ -158,8 +209,8 @@ func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr 
 		float64(rescanNs)/1e6, rep.RescanVisits)
 	fmt.Fprintf(stderr, "bench: incremental   %8.1fms  %9d visits\n",
 		float64(incrementalNs)/1e6, rep.IncrementalVisits)
-	fmt.Fprintf(stderr, "bench: parallel(%2d)  %8.1fms  %9d visits %v\n",
-		workers, float64(parallelNs)/1e6, rep.ParallelVisits, rep.WorkerVisits)
+	fmt.Fprintf(stderr, "bench: parallel(%2d)  %8.1fms  %9d visits %v (max/mean %.2f)\n",
+		workers, float64(parallelNs)/1e6, rep.ParallelVisits, rep.WorkerVisits, rep.MaxWorkerShare)
 	fmt.Fprintf(stderr, "bench: certify       %9d pairs verified (naive scan: %d per MD rule)\n",
 		rep.CertifyVisits, cfg.Tuples*cfg.MasterSize)
 	fmt.Fprintf(stderr, "bench: speedup %.2fx, visit ratio %.2fx, parallel speedup %.2fx, report written to %s\n",
@@ -168,11 +219,39 @@ func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr 
 	if baselinePath == "" {
 		return nil
 	}
-	base, err := readBaseline(baselinePath)
+	path, err := resolveBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	if path != baselinePath {
+		fmt.Fprintf(stderr, "bench: %d effective CPUs, gating against %s\n", runtime.GOMAXPROCS(0), path)
+	}
+	base, err := readBaseline(path)
 	if err != nil {
 		return err
 	}
 	return checkBaseline(rep, base, stderr)
+}
+
+// resolveBaseline maps the -bench.baseline argument to a concrete file:
+// given a directory, it picks baseline-multicore.json when the process has
+// more than one effective CPU and baseline.json otherwise, so one CI
+// invocation gates every runner class against the numbers a machine of its
+// shape can actually reproduce — wall ratios measured on a multicore box
+// are unreachable on a single-core container and vice versa.
+func resolveBaseline(path string) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return path, nil
+	}
+	name := "baseline.json"
+	if runtime.GOMAXPROCS(0) > 1 {
+		name = "baseline-multicore.json"
+	}
+	return filepath.Join(path, name), nil
 }
 
 // diffRuns fails when two engine runs over the same instance differ in any
@@ -237,6 +316,29 @@ func checkBaseline(rep, base benchReport, stderr io.Writer) error {
 				rep.Speedup, base.Speedup, pairedSpeedupSlack)
 		}
 	}
+	// The parallel paired run gates on every machine: Workers > 1 must
+	// never lose to the sequential engine beyond clock tolerance — the
+	// fast path routes small rounds inline, so even a single core has
+	// nothing to lose — and on a runner whose baseline recorded a real
+	// parallel advantage (a multicore box), losing more than half of it
+	// fails like the rescan-vs-incremental gate does.
+	if rep.Workers > 1 && rep.IncrementalNs > 0 && rep.ParallelNs > 0 {
+		if rep.ParallelSpeedup < parallelWallFloor {
+			return fmt.Errorf("bench: parallel engine slower than sequential: %.2fx < %.2f floor",
+				rep.ParallelSpeedup, parallelWallFloor)
+		}
+		if base.ParallelSpeedup >= 1 && rep.ParallelSpeedup*pairedSpeedupSlack < base.ParallelSpeedup {
+			return fmt.Errorf("bench: parallel speedup collapsed: %.2fx < baseline %.2fx / %.1f",
+				rep.ParallelSpeedup, base.ParallelSpeedup, pairedSpeedupSlack)
+		}
+	}
+	// Worker balance is scheduling-dependent, so it only warns — and only
+	// when the baseline itself recorded a balanced multicore split, i.e.
+	// there is a meaningful expectation to drift from.
+	if base.MaxWorkerShare > 0 && rep.MaxWorkerShare > maxWorkerShareLimit {
+		fmt.Fprintf(stderr, "bench: WARNING: worker balance degraded: max/mean %.2f > %.1f (baseline %.2f); propose visits %v\n",
+			rep.MaxWorkerShare, maxWorkerShareLimit, base.MaxWorkerShare, rep.WorkerVisits)
+	}
 	// The success line reports only the gates that actually ran: a baseline
 	// without certify counts or a coarse clock skips a gate, and the log
 	// must not claim a comparison that never happened.
@@ -248,9 +350,13 @@ func checkBaseline(rep, base benchReport, stderr io.Writer) error {
 	if rep.RescanNs > 0 && rep.IncrementalNs > 0 {
 		wallGate = fmt.Sprintf("paired speedup %.2fx", rep.Speedup)
 	}
-	fmt.Fprintf(stderr, "bench: within baseline (visits %d <= %d +20%%, ratio %.2f >= %.2f -20%%, %s, %s)\n",
+	parGate := "parallel gate skipped (1 worker or zeroed clock)"
+	if rep.Workers > 1 && rep.IncrementalNs > 0 && rep.ParallelNs > 0 {
+		parGate = fmt.Sprintf("parallel speedup %.2fx >= %.2f", rep.ParallelSpeedup, parallelWallFloor)
+	}
+	fmt.Fprintf(stderr, "bench: within baseline (visits %d <= %d +20%%, ratio %.2f >= %.2f -20%%, %s, %s, %s)\n",
 		rep.IncrementalVisits, base.IncrementalVisits, rep.VisitRatio, base.VisitRatio,
-		certGate, wallGate)
+		certGate, wallGate, parGate)
 	return nil
 }
 

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -91,5 +94,105 @@ func TestCheckBaselineSkipsWallGateOnCoarseClock(t *testing.T) {
 	rep.deriveRatios()
 	if err := checkBaseline(rep, base, io.Discard); err != nil {
 		t.Errorf("healthy paired run failed the gate: %v", err)
+	}
+}
+
+// TestMaxWorkerShareDerivation pins the balance metric: max over mean of the
+// per-worker propose visits, 1.0 for a perfect split, the worker count when
+// one worker did everything, and 0 whenever nothing was attributed (pool off
+// or every worklist inline), so an idle pool can never trip the soft gate.
+func TestMaxWorkerShareDerivation(t *testing.T) {
+	cases := []struct {
+		visits []int64
+		want   float64
+	}{
+		{nil, 0},
+		{[]int64{0, 0, 0, 0}, 0},
+		{[]int64{10, 10, 10, 10}, 1},
+		{[]int64{0, 0, 0, 200}, 4},
+		{[]int64{30, 10}, 1.5},
+	}
+	for _, c := range cases {
+		rep := benchReport{WorkerVisits: c.visits}
+		rep.deriveRatios()
+		if rep.MaxWorkerShare != c.want {
+			t.Errorf("MaxWorkerShare(%v) = %v, want %v", c.visits, rep.MaxWorkerShare, c.want)
+		}
+	}
+}
+
+// TestCheckBaselineParallelGates covers the parallel paired-run gates: the
+// absolute floor (parallel must not lose to sequential beyond clock
+// tolerance, on any machine), the relative gate (a baseline that recorded a
+// real multicore advantage must not see it halve), and the skip conditions
+// — one worker, or a zeroed clock.
+func TestCheckBaselineParallelGates(t *testing.T) {
+	base := benchReport{RescanVisits: 100, IncrementalVisits: 20}
+	base.deriveRatios()
+
+	// Parallel slower than sequential beyond the floor fails even with no
+	// parallel baseline numbers at all.
+	rep := benchReport{RescanVisits: 100, IncrementalVisits: 20,
+		Workers: 4, IncrementalNs: 100, ParallelNs: 200}
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err == nil {
+		t.Error("parallel at 0.5x sequential passed the gate")
+	}
+	// Within clock tolerance of 1.0 passes.
+	rep.ParallelNs = 105
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err != nil {
+		t.Errorf("parallel within the floor failed the gate: %v", err)
+	}
+	// One worker, or a zeroed clock, skips the gate entirely.
+	rep.ParallelNs = 400
+	rep.Workers = 1
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err != nil {
+		t.Errorf("1-worker run hit the parallel gate: %v", err)
+	}
+	rep.Workers, rep.ParallelNs = 4, 0
+	rep.deriveRatios()
+	if err := checkBaseline(rep, base, io.Discard); err != nil {
+		t.Errorf("zero-clock run hit the parallel gate: %v", err)
+	}
+
+	// A multicore baseline with a real advantage arms the relative gate.
+	base.Workers, base.IncrementalNs, base.ParallelNs = 4, 300, 100
+	base.deriveRatios() // baseline parallel speedup 3x
+	rep.Workers, rep.IncrementalNs, rep.ParallelNs = 4, 120, 100
+	rep.deriveRatios() // 1.2x: above the floor, but under 3x / 2
+	if err := checkBaseline(rep, base, io.Discard); err == nil {
+		t.Error("collapsed parallel speedup passed the relative gate")
+	}
+	rep.IncrementalNs = 160
+	rep.deriveRatios() // 1.6x: keeps more than half the baseline advantage
+	if err := checkBaseline(rep, base, io.Discard); err != nil {
+		t.Errorf("healthy parallel run failed the relative gate: %v", err)
+	}
+}
+
+// TestResolveBaseline pins the CPU-count baseline selection: a file path
+// passes through untouched, a directory resolves to the single-core or
+// multicore baseline by the machine's effective CPU count, and a missing
+// path errors instead of silently skipping the gate.
+func TestResolveBaseline(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "some.json")
+	if err := os.WriteFile(file, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := resolveBaseline(file); err != nil || got != file {
+		t.Errorf("resolveBaseline(file) = %q, %v; want the file itself", got, err)
+	}
+	want := filepath.Join(dir, "baseline.json")
+	if runtime.GOMAXPROCS(0) > 1 {
+		want = filepath.Join(dir, "baseline-multicore.json")
+	}
+	if got, err := resolveBaseline(dir); err != nil || got != want {
+		t.Errorf("resolveBaseline(dir) = %q, %v; want %q", got, err, want)
+	}
+	if _, err := resolveBaseline(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing baseline path resolved without error")
 	}
 }

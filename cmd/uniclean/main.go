@@ -95,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	benchFanout := fs.Int("bench.fanout", 3, "bench: constant-CFD fanout")
 	benchSeed := fs.Int64("bench.seed", 1, "bench: generator seed")
 	benchOut := fs.String("bench.out", "", "bench: JSON report path (default BENCH_<sha>.json)")
-	benchBaseline := fs.String("bench.baseline", "", "bench: baseline JSON to gate regressions against")
+	benchBaseline := fs.String("bench.baseline", "", "bench: baseline JSON to gate regressions against; a directory picks baseline-multicore.json or baseline.json by effective CPU count")
 	benchSha := fs.String("bench.sha", "", "bench: label for the default report name (default $GITHUB_SHA or 'local')")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -184,10 +184,13 @@ func newChecker(rules []rule.Rule, master *relation.Relation, matchers []*matche
 	return c
 }
 
-// ruleReport is one rule's certification outcome, produced independently —
-// possibly on a pool worker — and merged into the Report in rule order.
-// The per-rule violation cap is self-contained, so the merge is pure
-// concatenation and counter summing.
+// ruleReport is one certification task's outcome — a whole rule, or one
+// sub-range of an MD rule's scan — produced independently, possibly on a
+// pool worker, and merged into the Report in (rule, range) order. Each task
+// stores at most maxStoredPerRule violations; the merge re-applies the cap
+// per rule after concatenation, which reproduces the sequential prefix
+// exactly (every task keeps its earliest violations, and the global first
+// maxStoredPerRule are the earliest of the in-order concatenation).
 type ruleReport struct {
 	violations []Violation
 	count      int // exact violations, including beyond the cap
@@ -195,34 +198,89 @@ type ruleReport struct {
 	visits     int // (t, s) premise verifications (MD rules only)
 }
 
+// certShardMin is the smallest data-tuple range worth its own certification
+// task: below it the per-task matcher fork costs more than the scan.
+const certShardMin = 256
+
+// certTask is one unit of the certification fan-out: rule ri restricted to
+// data tuples [lo, hi). CFD rules are always one whole-relation task — their
+// group scan is cheap — while an MD rule's blocked scan, the dominant
+// certify cost, is sub-sharded into tuple ranges so one huge similarity MD
+// no longer serializes the round behind a single worker. fanOut hands tasks
+// out in index order, so the expensive MD shards start spread across the
+// pool rather than queued behind one another.
+type certTask struct {
+	ri     int
+	lo, hi int
+}
+
+// certTasks builds the certification task list in (rule, lo) order — the
+// merge order of Check.
+func (c *Checker) certTasks(d *relation.Relation) []certTask {
+	tasks := make([]certTask, 0, len(c.rules))
+	for ri, r := range c.rules {
+		if c.workers > 1 && r.Kind == rule.MatchMD && c.master != nil {
+			n := d.Len() / certShardMin
+			if lim := c.workers * 4; n > lim {
+				n = lim
+			}
+			if n > 1 {
+				for k := 0; k < n; k++ {
+					tasks = append(tasks, certTask{ri: ri, lo: k * d.Len() / n, hi: (k + 1) * d.Len() / n})
+				}
+				continue
+			}
+		}
+		tasks = append(tasks, certTask{ri: ri, lo: 0, hi: d.Len()})
+	}
+	return tasks
+}
+
 // Check certifies d against every rule and returns the violation report.
-// It never mutates d. Per-rule passes run concurrently when the checker
+// It never mutates d. Certification tasks run concurrently when the checker
 // has a worker budget; the report is identical for any worker count.
 func (c *Checker) Check(d *relation.Relation) *Report {
-	subs := make([]ruleReport, len(c.rules))
-	if c.workers <= 1 {
-		for ri := range c.rules {
-			subs[ri] = c.checkRule(d, ri, c.matchers[ri])
-		}
-	} else {
-		// Certification is read-only, so rules need no propose/commit
+	tasks := c.certTasks(d)
+	subs := make([]ruleReport, len(tasks))
+	run := func(ti int) {
+		t := tasks[ti]
+		// Certification is read-only, so tasks need no propose/commit
 		// machinery — just disjoint result slots. Matchers are forked per
 		// task (shared immutable indexes, private scratch), exactly as the
 		// parallel appliers fork them.
-		fanOut(c.workers, len(c.rules), func(ri int) {
-			x := c.matchers[ri]
-			if x != nil {
-				x = x.fork()
-			}
-			subs[ri] = c.checkRule(d, ri, x)
-		})
+		x := c.matchers[t.ri]
+		if x != nil && c.workers > 1 {
+			x = x.fork()
+		}
+		subs[ti] = c.checkRule(d, t.ri, t.lo, t.hi, x)
+	}
+	if c.workers <= 1 {
+		for ti := range tasks {
+			run(ti)
+		}
+	} else {
+		fanOut(c.workers, len(tasks), run)
 	}
 
-	// Ordered merge: rule order, concatenation, order-independent sums —
-	// byte-identical to the sequential pass for any worker count.
+	// Ordered merge: rule order, ascending-lo concatenation within a rule
+	// (which reconstructs the sequential (T, S) violation stream), the
+	// per-rule cap re-applied over the concatenation, order-independent
+	// sums — byte-identical to the sequential pass for any worker count.
 	rep := &Report{byRule: make(map[string]int, len(c.rules))}
-	for ri := range subs {
-		rr := &subs[ri]
+	ti := 0
+	for ri := range c.rules {
+		var rr ruleReport
+		for ; ti < len(tasks) && tasks[ti].ri == ri; ti++ {
+			s := &subs[ti]
+			rr.count += s.count
+			rr.visits += s.visits
+			rr.violations = append(rr.violations, s.violations...)
+		}
+		if len(rr.violations) > maxStoredPerRule {
+			rr.violations = rr.violations[:maxStoredPerRule]
+		}
+		rr.truncated = rr.count - len(rr.violations)
+
 		name := c.rules[ri].Name()
 		rep.byRule[name] += rr.count // creates the entry even at zero: "checked"
 		if c.rules[ri].Kind == rule.MatchMD {
@@ -237,9 +295,11 @@ func (c *Checker) Check(d *relation.Relation) *Report {
 	return rep
 }
 
-// checkRule certifies d against rule ri alone, enumerating MD candidates
-// through x (nil only when master data is absent, making the MD vacuous).
-func (c *Checker) checkRule(d *relation.Relation, ri int, x *matcher) ruleReport {
+// checkRule certifies d against rule ri over the data tuples in [lo, hi) —
+// the full relation for CFD rules, possibly one sub-shard for MD rules —
+// enumerating MD candidates through x (nil only when master data is absent,
+// making the MD vacuous).
+func (c *Checker) checkRule(d *relation.Relation, ri, lo, hi int, x *matcher) ruleReport {
 	r := c.rules[ri]
 	var rr ruleReport
 	switch r.Kind {
@@ -248,7 +308,7 @@ func (c *Checker) checkRule(d *relation.Relation, ri int, x *matcher) ruleReport
 			return rr // vacuously satisfied, still recorded as checked
 		}
 		name := r.Name()
-		c.visitMDViolations(d, r.MD, x, &rr.visits, func(v md.Violation) bool {
+		c.visitMDViolationsRange(d, r.MD, x, lo, hi, &rr.visits, func(v md.Violation) bool {
 			rr.count++
 			if len(rr.violations) >= maxStoredPerRule {
 				// Beyond the cap: tally without formatting the detail.
@@ -309,7 +369,16 @@ func (c *Checker) checkRule(d *relation.Relation, ri int, x *matcher) ruleReport
 // bound allows, or an MD with no indexable clause at all — fall back to
 // scanning Dm for that tuple only.
 func (c *Checker) visitMDViolations(d *relation.Relation, m *md.MD, x *matcher, visited *int, fn func(md.Violation) bool) {
-	md.VisitViolationsBlocked(d, c.master, m, func(i int, t *relation.Tuple) []int {
+	c.visitMDViolationsRange(d, m, x, 0, d.Len(), visited, fn)
+}
+
+// visitMDViolationsRange is visitMDViolations restricted to the data tuples
+// in [lo, hi) — the certify sub-shard entry point. Candidate enumeration is
+// per data tuple, so a range visits exactly the pairs the full pass visits
+// for those tuples, and ranges concatenated in ascending-lo order reproduce
+// the full stream.
+func (c *Checker) visitMDViolationsRange(d *relation.Relation, m *md.MD, x *matcher, lo, hi int, visited *int, fn func(md.Violation) bool) {
+	md.VisitViolationsBlockedRange(d, c.master, m, lo, hi, func(i int, t *relation.Tuple) []int {
 		if x != nil && !c.noBlock {
 			if ids, ok := x.certCandidates(t); ok {
 				*visited += len(ids)

@@ -71,6 +71,55 @@ type Options struct {
 	// the pool. The Rescan reference engine is always sequential and
 	// ignores Workers.
 	Workers int
+	// SeqCutoff is the work threshold below which a rule's worklist runs
+	// inline on the merge goroutine instead of fanning out to the pool:
+	// small delta rounds dominate after the seeding round, and spawning
+	// workers plus a proposal merge for a handful of tuples costs more
+	// than the visits themselves, which is how Workers > 1 used to lose
+	// to Workers = 1 on the wall clock. Work is estimated in tuple visits
+	// (tuples for per-tuple rules, total members for group rules). 0 means
+	// DefaultSeqCutoff; negative forces every nonempty worklist through
+	// the pool, which tests use to exercise the parallel path on tiny
+	// property-test instances. The fast path cannot change any output —
+	// inline and pooled execution are fix-for-fix identical by the
+	// propose/commit merge argument.
+	SeqCutoff int
+}
+
+// DefaultSeqCutoff is the inline-execution work threshold used when
+// Options.SeqCutoff is zero. At ~128 tuple visits the applier work is on the
+// order of the fan-out overhead (goroutine wakeups, the proposal slice, the
+// counter merge), so smaller worklists are faster inline on every machine.
+const DefaultSeqCutoff = 128
+
+// seqCutoff resolves Options.SeqCutoff to the effective inline threshold:
+// 0 picks the default, negative disables the fast path entirely.
+func (o Options) seqCutoff() int {
+	if o.SeqCutoff == 0 {
+		return DefaultSeqCutoff
+	}
+	return o.SeqCutoff
+}
+
+// inline reports whether a worklist with the given estimated tuple-visit
+// work should bypass the pool and run on the merge goroutine.
+func (e *Engine) inline(work int) bool {
+	if e.pool == nil || work == 0 {
+		return true
+	}
+	cut := e.opts.seqCutoff()
+	if cut < 0 {
+		return false // forced pool: the determinism suites' escape hatch
+	}
+	// A single-P process cannot overlap propose work: the pool would pay
+	// op recording, rewind and replay with zero parallelism to show for
+	// it, so every worklist runs inline regardless of size — this is what
+	// makes Workers > 1 wall-neutral on a single-core machine instead of
+	// ~25% slower on the seeding rounds.
+	if runtime.GOMAXPROCS(0) == 1 {
+		return true
+	}
+	return work < cut
 }
 
 // workerCount resolves Options.Workers to the effective pool size.

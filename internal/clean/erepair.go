@@ -134,11 +134,63 @@ func (e *Engine) ERepair() {
 	case !e.eSeeded:
 		// First call: seed every group of every variable CFD out of the
 		// group indexes — no relation scan — after dropping the marks the
-		// seed is about to cover.
+		// seed is about to cover. The entropy pass over the groups is
+		// embarrassingly parallel — each task reads only its own member
+		// snapshot and the live relation, which nothing writes during the
+		// fan-out — so above the sequential cutoff it runs through the
+		// pool, with per-task result slots merged afterwards. The merge is
+		// order-independent (the AVL keys by (entropy, id), ETuples is a
+		// sum), so the map iteration and the fan-out schedule never show.
 		e.sched.resetE()
+		type seedTask struct {
+			vi       int
+			key      string
+			kid      int32
+			members  []int
+			entropy  float64
+			distinct int
+		}
+		var tasks []seedTask
+		work := 0
 		for vi, ri := range varRules {
-			for kid := range e.sched.gidx[ri].groups { //det:ok maporder rekey inserts into the AVL by (entropy, id) key; tree content and summed counters are insertion-order independent
-				rekeyFromIndex(vi, kid)
+			gi := e.sched.gidx[ri]
+			for kid, cg := range gi.groups { //det:ok maporder task slots are merged order-independently into the AVL by (entropy, id) key; summed counters commute
+				if cg == nil || len(cg.members) == 0 {
+					continue
+				}
+				tasks = append(tasks, seedTask{
+					vi:      vi,
+					key:     gi.syms.str(kid),
+					kid:     kid,
+					members: append([]int(nil), cg.members...),
+				})
+				work += len(cg.members)
+			}
+		}
+		if e.inline(work) {
+			for _, t := range tasks {
+				rekey(t.vi, t.key, t.kid, t.members)
+			}
+		} else {
+			fanOut(len(e.pool.workers), len(tasks), func(ti int) {
+				t := &tasks[ti]
+				t.entropy, t.distinct = groupEntropy(e.data, varCFDs[t.vi].RHS, t.members)
+			})
+			// Replay rekey's bookkeeping per task, in slice order: count the
+			// members examined, then key the still-conflicted groups. The
+			// tree and groups map start empty on the seeding call and done
+			// is empty, so rekey's stale-delete and done checks are no-ops
+			// here by construction.
+			for ti := range tasks {
+				t := &tasks[ti]
+				e.apply[varRules[t.vi]].ETuples += len(t.members)
+				if t.distinct < 2 {
+					continue
+				}
+				id := strconv.Itoa(t.vi) + "|" + t.key
+				g := &egroup{ci: t.vi, id: id, key: t.kid, members: t.members, entropy: t.entropy}
+				groups[id] = g
+				tree.Insert(avl.Key{Entropy: g.entropy, ID: g.id})
 			}
 		}
 		e.eSeeded = true

@@ -117,6 +117,10 @@ func TestPropertyIncrementalEquivalence(t *testing.T) {
 	const seeds = 400
 	opts := DefaultOptions()
 	opts.Workers = 4
+	// Negative SeqCutoff forces the corpus — tiny by construction — through
+	// the pool; with the default cutoff the fast path would run everything
+	// inline and the sweep would prove nothing about the parallel layer.
+	opts.SeqCutoff = -1
 	for seed := int64(0); seed < seeds; seed++ {
 		in := genInstance(seed)
 		inc, ref := runModes(in.relation(nil), nil, in.rules, DefaultOptions())
@@ -146,6 +150,7 @@ func TestIncrementalEquivalenceWithMaster(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Workers = 4
+	opts.SeqCutoff = -1 // figure1 is tiny: bypass the inline fast path
 	data, master, rules = figure1(t)
 	par := Run(data, master, rules, opts)
 	if d := diffParallel(par, inc); d != "" {

@@ -226,6 +226,73 @@ func newPool(e *Engine, n int) *pool {
 	return p
 }
 
+// shardQueue is one worker's remaining range of a rule's item index space.
+// The owner claims small batches off the front; idle workers steal half of
+// the remainder off the back. Both sides go through one mutex per queue —
+// claims and steals are rare relative to item processing, and a mutex makes
+// the lo/hi crossing race of lock-free deques a non-problem. Which indexes
+// end up processed by which worker is scheduling-dependent, but the
+// index-ordered commit merge makes that invisible in every output.
+type shardQueue struct {
+	mu     sync.Mutex
+	lo, hi int // remaining items [lo, hi)
+}
+
+// claim takes up to n items off the front of the queue (owner side).
+func (q *shardQueue) claim(n int) (lo, hi int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lo >= q.hi {
+		return 0, 0, false
+	}
+	lo = q.lo
+	hi = lo + n
+	if hi > q.hi {
+		hi = q.hi
+	}
+	q.lo = hi
+	return lo, hi, true
+}
+
+// steal takes the back half of the remaining range (thief side).
+func (q *shardQueue) steal() (lo, hi int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.hi - q.lo
+	if n <= 0 {
+		return 0, 0, false
+	}
+	take := (n + 1) / 2
+	lo, hi = q.hi-take, q.hi
+	q.hi = lo
+	return lo, hi, true
+}
+
+// put deposits a stolen range into the (empty) queue, making its remainder
+// stealable again. Only the owner deposits, and only after its own claim
+// failed, so the queue is empty when put runs.
+func (q *shardQueue) put(lo, hi int) {
+	q.mu.Lock()
+	q.lo, q.hi = lo, hi
+	q.mu.Unlock()
+}
+
+// stealInto moves half of some other worker's remaining range into worker
+// w's own queue, scanning victims round-robin from w+1. It reports whether
+// any work was found; the caller then claims from its own queue as usual —
+// which can fail if another thief raced it there, in which case it simply
+// steals again. Work only ever shrinks (nothing enqueues after the fan-out
+// starts), so a full scan finding every queue empty is a sound exit.
+func stealInto(queues []shardQueue, w int) bool {
+	for k := 1; k < len(queues); k++ {
+		if lo, hi, ok := queues[(w+k)%len(queues)].steal(); ok {
+			queues[w].put(lo, hi)
+			return true
+		}
+	}
+	return false
+}
+
 // runParallel fans one rule's work items out to the pool and commits the
 // proposals in item order. items must already be in sequential visit order
 // (ascending tuple id / first group member), and item ownership must be
@@ -239,37 +306,43 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 	activeTuple func(T) (int, bool), fn func(*applier, T) int) int {
 
 	props := make([]proposal, len(items))
-	// Shards are contiguous chunks of the ordered worklist, claimed through
-	// an atomic cursor so one slow shard (a huge group, a full-scan MD
-	// probe) cannot stall the rest of the pool. Chunking preserves locality;
-	// the merge below is index-ordered, so the claim order never shows.
-	chunk := len(items) / (len(p.workers) * 8)
-	if chunk < 1 {
-		chunk = 1
+	// Each worker starts with a contiguous shard of the ordered worklist
+	// (locality) and steals from its neighbors once its own shard drains,
+	// so one expensive item — a huge variable-CFD group, a full-scan MD
+	// probe — strands at most the few items of the claim batch it arrived
+	// in, never a whole chunk. The merge below is index-ordered, so neither
+	// the initial partition nor the steal schedule ever shows in the output.
+	n := len(p.workers)
+	if n > len(items) {
+		n = len(items)
 	}
-	if chunk > 2048 {
-		chunk = 2048
+	queues := make([]shardQueue, n)
+	for w := range queues {
+		queues[w].lo = w * len(items) / n
+		queues[w].hi = (w + 1) * len(items) / n
 	}
-	// Small delta rounds are the common case: never spawn more workers
-	// than there are chunks to claim, and merge only what ran.
-	n := (len(items) + chunk - 1) / chunk
-	if n > len(p.workers) {
-		n = len(p.workers)
+	// Claim batches trade mutex traffic against stranding: an expensive
+	// item blocks only its claimed batch-mates, so batches stay small, and
+	// shrink to single items on short worklists where items are big.
+	grain := len(items) / (n * 16)
+	if grain < 1 {
+		grain = 1
 	}
-	var cursor atomic.Int64
+	if grain > 8 {
+		grain = 8
+	}
 	var wg sync.WaitGroup
-	for _, ap := range p.workers[:n] {
+	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func(ap *applier) {
+		go func(w int, ap *applier) {
 			defer wg.Done()
 			for {
-				hi := int(cursor.Add(int64(chunk)))
-				lo := hi - chunk
-				if lo >= len(items) {
-					return
-				}
-				if hi > len(items) {
-					hi = len(items)
+				lo, hi, ok := queues[w].claim(grain)
+				if !ok {
+					if !stealInto(queues, w) {
+						return
+					}
+					continue
 				}
 				for idx := lo; idx < hi; idx++ {
 					ap.buf = &props[idx]
@@ -277,7 +350,7 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 				}
 				ap.buf = nil
 			}
-		}(ap)
+		}(w, p.workers[w])
 	}
 	wg.Wait()
 
@@ -350,10 +423,11 @@ func fanOut(workers, tasks int, fn func(task int)) {
 }
 
 // applyTuples runs one per-tuple rule over the given tuple ids (ascending),
-// inline when the pool is off or the worklist is trivial, sharded through
-// the pool otherwise.
+// inline when the pool is off or the worklist is under the sequential
+// cutoff (small delta rounds pay fan-out overhead, not win from it),
+// sharded through the pool otherwise.
 func (e *Engine) applyTuples(phase, ri int, ids []int, fn func(*applier, int) int) int {
-	if e.pool == nil || len(ids) < 2 {
+	if e.inline(len(ids)) {
 		progress := 0
 		for _, i := range ids {
 			e.setActive(phase, ri, i)
@@ -367,11 +441,17 @@ func (e *Engine) applyTuples(phase, ri int, ids []int, fn func(*applier, int) in
 }
 
 // applyGroups runs one variable-CFD rule over the given group snapshots
-// (ordered by first member), inline or through the pool. Group appliers
-// run without the scheduler's in-flight-tuple suppression, exactly like
-// the sequential loops.
+// (ordered by first member), inline or through the pool; the work estimate
+// for the sequential cutoff is the total member count, since group applier
+// cost scales with members visited, not group count. Group appliers run
+// without the scheduler's in-flight-tuple suppression, exactly like the
+// sequential loops.
 func (e *Engine) applyGroups(phase, ri int, groups [][]int, fn func(*applier, []int) int) int {
-	if e.pool == nil || len(groups) < 2 {
+	work := 0
+	for _, g := range groups {
+		work += len(g)
+	}
+	if e.inline(work) {
 		progress := 0
 		for _, g := range groups {
 			progress += fn(e.ap, g)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cfd"
+	"repro/internal/gen"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -19,6 +20,11 @@ func TestParallelWorkerSweep(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 4, 8} {
 		opts := DefaultOptions()
 		opts.Workers = workers
+		// Force every nonempty worklist through the pool: the corpus
+		// instances are a handful of tuples, far under DefaultSeqCutoff,
+		// and the sweep must exercise the parallel path, not the inline
+		// fast path.
+		opts.SeqCutoff = -1
 		for seed := int64(0); seed < 25; seed++ {
 			in := genInstance(seed)
 			seq := Run(in.relation(nil), nil, in.rules, DefaultOptions())
@@ -48,6 +54,7 @@ func TestParallelWorkerSweep(t *testing.T) {
 func TestParallelDeterminism(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 4
+	opts.SeqCutoff = -1
 	for seed := int64(0); seed < 20; seed++ {
 		in := genInstance(seed)
 		first := Run(in.relation(nil), nil, in.rules, opts)
@@ -85,6 +92,7 @@ func TestParallelRescanStaysSequential(t *testing.T) {
 func TestParallelWorkerVisitsReported(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 3
+	opts.SeqCutoff = -1 // figure1 is tiny: bypass the inline fast path
 	data, master, rules := figure1(t)
 	res := Run(data, master, rules, opts)
 	if len(res.WorkerVisits) != 3 {
@@ -115,6 +123,7 @@ func TestHTargetTieBreakDeterminism(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		opts := DefaultOptions()
 		opts.Workers = workers
+		opts.SeqCutoff = -1
 		for rep := 0; rep < 30; rep++ {
 			// Master-support tie-break: k1 and k2 tie on confidence and
 			// count; the master value reachable through the MD blocking
@@ -181,6 +190,7 @@ func TestParallelOuterFixpoint(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Workers = 4
+	opts.SeqCutoff = -1
 	seq := Run(mk(), nil, rules, DefaultOptions())
 	par := Run(mk(), nil, rules, opts)
 	if d := diffParallel(par, seq); d != "" {
@@ -190,3 +200,142 @@ func TestParallelOuterFixpoint(t *testing.T) {
 		t.Fatalf("pipeline left rules unresolved: %v", fmt.Sprint(par.Unresolved))
 	}
 }
+
+// TestShardQueueStealSemantics pins the work-stealing queue invariants the
+// determinism argument leans on: claim and steal partition the index range
+// (every index handed out exactly once), a thief's deposit leaves the
+// remainder stealable, and the total never grows — which is what makes the
+// all-queues-empty exit of stealInto sound.
+func TestShardQueueStealSemantics(t *testing.T) {
+	var q shardQueue
+	q.put(0, 100)
+	seen := make([]bool, 100)
+	take := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Fatalf("index %d handed out twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	lo, hi, ok := q.claim(8)
+	if !ok || lo != 0 || hi != 8 {
+		t.Fatalf("claim(8) = [%d, %d) %v, want [0, 8) true", lo, hi, ok)
+	}
+	take(lo, hi)
+	lo, hi, ok = q.steal()
+	if !ok || lo != 54 || hi != 100 {
+		t.Fatalf("steal() = [%d, %d) %v, want the back half [54, 100) true", lo, hi, ok)
+	}
+	var thief, second shardQueue
+	thief.put(lo, hi)
+	lo2, hi2, ok := thief.steal()
+	if !ok {
+		t.Fatal("deposited range is not stealable")
+	}
+	second.put(lo2, hi2)
+	for _, queue := range []*shardQueue{&q, &thief, &second} {
+		for {
+			lo, hi, ok := queue.claim(3)
+			if !ok {
+				break
+			}
+			take(lo, hi)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never handed out", i)
+		}
+	}
+	if _, _, ok := q.steal(); ok {
+		t.Fatal("empty queue still steals")
+	}
+}
+
+// TestSequentialFastPath pins satellite behavior of the inline cutoff: on a
+// workload whose every worklist is under DefaultSeqCutoff, a Workers: 4 run
+// builds the pool but routes everything inline — no visits are attributed
+// to any worker — and the result is still fix-for-fix identical to the
+// sequential run, because inline and pooled execution share the applier
+// code and the fast path only skips the fan-out.
+func TestSequentialFastPath(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 4
+	for seed := int64(0); seed < 10; seed++ {
+		in := genInstance(seed)
+		seq := Run(in.relation(nil), nil, in.rules, DefaultOptions())
+		par := Run(in.relation(nil), nil, in.rules, opts)
+		if d := diffParallel(par, seq); d != "" {
+			t.Fatalf("seed %d: fast path changed the result: %s", seed, d)
+		}
+		if len(par.WorkerVisits) != 4 {
+			t.Fatalf("seed %d: pool not built: WorkerVisits %v", seed, par.WorkerVisits)
+		}
+		for w, v := range par.WorkerVisits {
+			if v != 0 {
+				t.Fatalf("seed %d: worklists under the cutoff reached worker %d (%d visits)", seed, w, v)
+			}
+		}
+	}
+}
+
+// TestParallelStealHeavySweep is the adversarial determinism sweep for the
+// work-stealing queues: gen's HotZipRate knob packs more than a third of
+// the tuples into one zip, so the variable CFDs carry one giant LHS-equal
+// group next to hundreds of tiny ones — the shape where the old chunk
+// cursor stranded whole chunks behind the giant group and where stealing
+// traffic is now maximal. Every worker count must still produce results
+// byte-identical to the sequential engine, including the certified Report
+// and all work counters; run under -race this also audits the queue
+// transfer protocol itself.
+func TestParallelStealHeavySweep(t *testing.T) {
+	inst := gen.Generate(gen.Config{
+		Tuples: 2000, MasterSize: 200, ErrorRate: 0.05,
+		RuleFanout: 2, Seed: 11, HotZipRate: 0.6,
+	})
+	zipAttr := inst.Data.Schema.MustIndex("zip")
+	counts := make(map[string]int)
+	dominant := 0
+	for _, tp := range inst.Data.Tuples {
+		counts[tp.Values[zipAttr]]++
+		if counts[tp.Values[zipAttr]] > dominant {
+			dominant = counts[tp.Values[zipAttr]]
+		}
+	}
+	if dominant < inst.Data.Len()/3 {
+		t.Fatalf("HotZipRate produced no dominant group: biggest zip holds %d of %d tuples",
+			dominant, inst.Data.Len())
+	}
+	seq := Run(inst.Data, inst.Master, inst.Rules, DefaultOptions())
+	for _, workers := range []int{2, 3, 4, 8} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		opts.SeqCutoff = -1
+		par := Run(inst.Data, inst.Master, inst.Rules, opts)
+		if d := diffParallel(par, seq); d != "" {
+			t.Fatalf("%d workers on the steal-heavy workload: %s", workers, d)
+		}
+	}
+}
+
+// benchmarkTinyRounds measures the whole pipeline on a tiny instance, the
+// regime where fan-out overhead used to dominate. The pinned comparison is
+// Workers4 against Workers1: with the sequential fast path every worklist
+// runs inline, so the two must be within noise of each other, while
+// Workers4Forced (cutoff disabled) shows what the pool costs when it is
+// forced onto work this small.
+func benchmarkTinyRounds(b *testing.B, workers, cutoff int) {
+	in := genInstance(3)
+	opts := DefaultOptions()
+	opts.Workers = workers
+	opts.SeqCutoff = cutoff
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(in.relation(nil), nil, in.rules, opts)
+	}
+}
+
+func BenchmarkTinyRoundsWorkers1(b *testing.B)       { benchmarkTinyRounds(b, 1, 0) }
+func BenchmarkTinyRoundsWorkers4(b *testing.B)       { benchmarkTinyRounds(b, 4, 0) }
+func BenchmarkTinyRoundsWorkers4Forced(b *testing.B) { benchmarkTinyRounds(b, 4, -1) }

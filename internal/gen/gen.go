@@ -54,6 +54,16 @@ type Config struct {
 	// Conf: trusted wrong values, which force conflicts into eRepair and
 	// hRepair instead of being deterministically overwritten.
 	StubbornRate float64
+	// HotZipRate, when positive, is the probability that a master provider
+	// is re-homed to zip 0 after its uniform draw: the adversarial skew
+	// knob. At 0.5 half the providers — and with them roughly half the data
+	// tuples — share a single zip, so the variable CFDs get one giant
+	// LHS-equal group next to many tiny ones: the worst case for chunked
+	// shard claiming and the workload the work-stealing sweep tests run.
+	// Zero (the default) skips the skew draw entirely, leaving the RNG
+	// stream — and therefore every previously committed instance and
+	// baseline — bit-identical.
+	HotZipRate float64
 }
 
 // DefaultConfig is the 10k-tuple / 5%-dirty configuration the benchmarks
@@ -149,7 +159,11 @@ func Generate(cfg Config) *Instance {
 	provZip := make([]int, cfg.MasterSize)
 	master := relation.New(mschema)
 	for p := 0; p < cfg.MasterSize; p++ {
-		provZip[p] = rng.Intn(nZip)
+		z := rng.Intn(nZip)
+		if cfg.HotZipRate > 0 && rng.Float64() < cfg.HotZipRate {
+			z = 0
+		}
+		provZip[p] = z
 		master.Append(
 			fmt.Sprintf("prov-%06d", p),
 			randName(),

@@ -16,3 +16,20 @@ func pooled(n int, fn func(int)) {
 	}
 	wg.Wait()
 }
+
+// stealing mirrors the work-stealing worker loop: goroutines that claim
+// from their own shard and steal from peers are still spawned here, and
+// only here.
+func stealing(queues []chan int, fn func(int)) {
+	var wg sync.WaitGroup
+	for w := range queues {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range queues[w] {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

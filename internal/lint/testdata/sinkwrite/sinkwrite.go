@@ -59,6 +59,24 @@ func (ap *applier) suppressed() {
 	ap.e.res.Asserts++ //det:ok sinkwrite direct-commit mode: the caller holds the pool barrier
 }
 
+// Task-slot fan-out: the seeding/certification entry points hand fanOut a
+// literal whose only writes land in the worker's own slot of a local task
+// slice of an unshared type. That is precomputation feeding the sequential
+// merge, not a sink bypass — no finding.
+type seedTask struct {
+	entropy  float64
+	distinct int
+}
+
+func seedFanOut(e *Engine, n int) []seedTask {
+	tasks := make([]seedTask, n)
+	fanOut(2, len(tasks), func(ti int) {
+		t := &tasks[ti]
+		t.entropy, t.distinct = 1.5, 2
+	})
+	return tasks
+}
+
 func launch(e *Engine, items []int) {
 	var shared Result
 	runParallel(items, func(ap *applier, i int) {

@@ -196,7 +196,19 @@ func VisitViolations(d, dm *relation.Relation, m *MD, fn func(Violation) bool) {
 // candidates call.
 func VisitViolationsBlocked(d, dm *relation.Relation, m *MD,
 	candidates func(i int, t *relation.Tuple) []int, fn func(Violation) bool) {
-	for i, t := range d.Tuples {
+	VisitViolationsBlockedRange(d, dm, m, 0, len(d.Tuples), candidates, fn)
+}
+
+// VisitViolationsBlockedRange is VisitViolationsBlocked restricted to the
+// data tuples in [lo, hi): the sub-shard primitive that lets a caller split
+// one rule's certification scan across workers and re-concatenate the
+// per-range outputs in ascending-lo order, which reproduces the full (T, S)
+// stream exactly — the outer loop visits data tuples in index order, so
+// range outputs never interleave.
+func VisitViolationsBlockedRange(d, dm *relation.Relation, m *MD, lo, hi int,
+	candidates func(i int, t *relation.Tuple) []int, fn func(Violation) bool) {
+	for i := lo; i < hi; i++ {
+		t := d.Tuples[i]
 		for _, j := range candidates(i, t) {
 			s := dm.Tuples[j]
 			if m.MatchLHS(t, s) && !m.RHSHolds(t, s) {
