@@ -26,19 +26,30 @@
 // the sequential visit counters exactly; either mismatch is a hard error.
 //
 // Exit status distinguishes failure modes: 0 when the output satisfies
-// every rule, 1 on usage, I/O or rule-parsing errors, and 2 when cleaning
-// completed but violations remain unresolved.
+// every rule, 1 on usage, I/O or rule-parsing errors, 2 when cleaning
+// completed but violations remain unresolved, and 3 when the run was
+// cancelled (SIGINT/SIGTERM) or hit the -timeout deadline before finishing.
+// A status-3 run writes no output: the engine guarantees its input was
+// never mutated and no partial round escaped.
+//
+// -timeout is a hard budget: the run aborts with status 3. The soft budgets
+// -deadline and -maxfixes degrade instead: the engine stops proposing fixes,
+// certifies what it reached, and reports the remaining violations with a
+// "degraded" marker — a truthful partial answer, exiting 0 or 2 as usual.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/clean"
 	"repro/internal/gen"
@@ -59,20 +70,27 @@ func exitCode(err error) int {
 		return 0
 	case errors.Is(err, errDirty):
 		return 2
+	case errors.Is(err, clean.ErrCanceled), errors.Is(err, clean.ErrDeadline):
+		return 3
 	default:
 		return 1
 	}
 }
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	// SIGINT/SIGTERM cancel the run's context; the engine stops at the next
+	// round boundary with its state rewound, and the process exits 3. A
+	// second signal kills the process via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uniclean:", err)
 	}
 	os.Exit(exitCode(err))
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("uniclean", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dataPath := fs.String("data", "", "data relation CSV (required)")
@@ -88,6 +106,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	verbose := fs.Bool("v", false, "list every fix in the report")
 	rescan := fs.Bool("rescan", false, "use the full-rescan reference scheduler instead of the delta-driven one")
 	workers := fs.Int("workers", 0, "parallel applier and certification workers (0 = GOMAXPROCS, 1 = sequential); any value yields identical fixes, repaired output and -certify report")
+	timeout := fs.Duration("timeout", 0, "hard wall-clock limit; on expiry the run aborts with exit status 3 and writes no output (0 = none)")
+	deadline := fs.Duration("deadline", 0, "soft wall-clock budget; on expiry the engine stops proposing fixes and reports a degraded but truthful result (0 = none)")
+	maxFixes := fs.Int("maxfixes", 0, "soft fix budget; reaching it degrades the run like -deadline (0 = none)")
 	bench := fs.Bool("bench", false, "run the synthetic benchmark instead of cleaning CSV input")
 	benchTuples := fs.Int("bench.tuples", 10000, "bench: data relation size")
 	benchMaster := fs.Int("bench.master", 1000, "bench: master relation size")
@@ -99,6 +120,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	benchSha := fs.String("bench.sha", "", "bench: label for the default report name (default $GITHUB_SHA or 'local')")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *bench {
 		cfg := gen.DefaultConfig()
@@ -159,8 +185,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s: no rules", *rulesPath)
 	}
 
-	res := clean.Run(data, master, rules,
-		clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan, Workers: *workers})
+	res, err := clean.RunContext(ctx, data, master, rules,
+		clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan, Workers: *workers,
+			Deadline: *deadline, MaxFixes: *maxFixes})
+	if err != nil {
+		return err
+	}
 
 	out := stdout
 	if *outPath != "-" {
@@ -201,6 +231,10 @@ func report(w io.Writer, data, master *relation.Relation, rules []rule.Rule, res
 	}
 	fmt.Fprintf(w, "uniclean: %d rules over %d tuples (master: %d tuples)\n",
 		len(rules), data.Len(), masterLen)
+	if res.Degraded {
+		fmt.Fprintf(w, "degraded: %s budget exhausted before the fixpoint; counts below are exact for the state reached\n",
+			res.DegradeReason)
+	}
 	fmt.Fprintf(w, "cRepair: %d rounds, %d deterministic fixes, %d cells asserted\n",
 		res.Rounds, len(res.DeterministicFixes()), res.Asserts)
 	fmt.Fprintf(w, "eRepair: %d groups resolved, %d reliable fixes\n",

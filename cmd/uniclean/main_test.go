@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/clean"
 )
 
 const (
@@ -20,7 +24,7 @@ const (
 func TestRunExample(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "repaired.csv")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", filepath.Join(exampleDir, "data.csv"),
 		"-conf", filepath.Join(exampleDir, "conf.csv"),
 		"-master", filepath.Join(exampleDir, "master.csv"),
@@ -58,7 +62,7 @@ Robert,Brady,501 Elm Row,Edi,131,EH7 4AH,3887644
 // example certified clean, so -certify succeeds (exit status 0).
 func TestRunCertifyExample(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", filepath.Join(exampleDir, "data.csv"),
 		"-conf", filepath.Join(exampleDir, "conf.csv"),
 		"-master", filepath.Join(exampleDir, "master.csv"),
@@ -79,7 +83,7 @@ func TestRunCertifyExample(t *testing.T) {
 // the output must still certify clean.
 func TestRunLowconfExample(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", filepath.Join(lowconfDir, "data.csv"),
 		"-rules", filepath.Join(lowconfDir, "rules.txt"),
 		"-defaultconf", "0.5",
@@ -106,7 +110,7 @@ func TestRunLowconfExample(t *testing.T) {
 // rules stay unresolved while hRepair still clears every CFD.
 func TestExitStatusDirtyVsIO(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", filepath.Join(exampleDir, "data.csv"),
 		"-master", filepath.Join(exampleDir, "master.csv"),
 		"-rules", filepath.Join(exampleDir, "rules.txt"),
@@ -128,7 +132,7 @@ func TestExitStatusDirtyVsIO(t *testing.T) {
 		t.Errorf("hRepair left CFD violations:\n%s", report)
 	}
 
-	err = run([]string{
+	err = run(context.Background(), []string{
 		"-data", filepath.Join(exampleDir, "no-such-file.csv"),
 		"-rules", filepath.Join(exampleDir, "rules.txt"),
 	}, &stdout, &stderr)
@@ -143,16 +147,82 @@ func TestExitStatusDirtyVsIO(t *testing.T) {
 	}
 }
 
+// TestRunCanceled is the CLI cancellation regression test: a canceled
+// context — what SIGINT/SIGTERM or an expired -timeout produce — aborts the
+// run with the typed cancellation error, exit status 3, and no repaired CSV
+// on stdout.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, []string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+	}, &stdout, &stderr)
+	if !errors.Is(err, clean.ErrCanceled) {
+		t.Fatalf("err = %v, want clean.ErrCanceled", err)
+	}
+	if got := exitCode(err); got != 3 {
+		t.Errorf("exitCode = %d, want 3", got)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("canceled run wrote output:\n%s", stdout.String())
+	}
+}
+
+// TestExitCodeTable pins the documented exit-status contract: 0 clean,
+// 1 usage/IO error, 2 dirty, 3 cancelled/deadline.
+func TestExitCodeTable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"clean", nil, 0},
+		{"io", os.ErrNotExist, 1},
+		{"usage", errors.New("-data and -rules are required"), 1},
+		{"dirty", fmt.Errorf("3 rules unresolved: %w", errDirty), 2},
+		{"canceled", clean.ErrCanceled, 3},
+		{"deadline", clean.ErrDeadline, 3},
+		{"wrapped-canceled", fmt.Errorf("cleaning: %w", clean.ErrCanceled), 3},
+	} {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunDegradedBudget: the soft -maxfixes budget must complete (not abort)
+// with the degraded marker in the report.
+func TestRunDegradedBudget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-conf", filepath.Join(exampleDir, "conf.csv"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+		"-maxfixes", "1",
+		"-out", filepath.Join(t.TempDir(), "repaired.csv"),
+	}, &stdout, &stderr)
+	if err != nil && !errors.Is(err, errDirty) {
+		t.Fatalf("degraded run must complete (clean or dirty), got: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "degraded: max-fixes") {
+		t.Errorf("report missing the degraded marker:\n%s", stderr.String())
+	}
+}
+
 func TestRunMissingFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run(nil, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), nil, &stdout, &stderr); err == nil {
 		t.Fatal("run without -data/-rules should fail")
 	}
 }
 
 func TestRunStdoutOutput(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", filepath.Join(exampleDir, "data.csv"),
 		"-rules", filepath.Join(exampleDir, "rules.txt"),
 		"-master", filepath.Join(exampleDir, "master.csv"),
@@ -179,7 +249,7 @@ func TestRunBenchMode(t *testing.T) {
 		"-bench.dirty", "0.05", "-bench.seed", "7",
 		"-bench.out", out,
 	}
-	if err := run(args, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
 		t.Fatalf("bench run: %v\nstderr:\n%s", err, stderr.String())
 	}
 	rep, err := readBaseline(out)
@@ -194,7 +264,7 @@ func TestRunBenchMode(t *testing.T) {
 	}
 
 	// Gate against the just-written report: identical counters must pass.
-	if err := run(append(args, "-bench.baseline", out), &stdout, &stderr); err != nil {
+	if err := run(context.Background(), append(args, "-bench.baseline", out), &stdout, &stderr); err != nil {
 		t.Fatalf("gate against own report failed: %v", err)
 	}
 
@@ -205,7 +275,7 @@ func TestRunBenchMode(t *testing.T) {
 	if err := os.WriteFile(tight, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run(append(args, "-bench.baseline", tight), &stdout, &stderr)
+	err = run(context.Background(), append(args, "-bench.baseline", tight), &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("gate did not catch a visit regression: %v", err)
 	}

@@ -1,10 +1,12 @@
 package clean
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cfd"
+	"repro/internal/fault"
 	"repro/internal/md"
 	"repro/internal/relation"
 	"repro/internal/rule"
@@ -53,6 +55,13 @@ type Report struct {
 	// nested scan costs |D|·|Dm| per MD rule; the blocked enumeration
 	// verifies only index candidates. Zero when no MD rule was checked.
 	CertVisits int
+	// Degraded marks a report produced by a run that stopped proposing
+	// fixes early because a soft budget ran out (Options.Deadline or
+	// Options.MaxFixes). The violation counts are still exact for the
+	// relation as left: a degraded report is a truthful partial answer,
+	// not an estimate. DegradeReason names the exhausted budget.
+	Degraded      bool
+	DegradeReason string
 
 	byRule    map[string]int // exact violations per checked rule name
 	cfds, mds int            // exact counts by dependency kind
@@ -146,6 +155,9 @@ type Checker struct {
 	// noBlock forces the naive |D|·|Dm| scan for every MD — the reference
 	// enumeration the blocked-vs-scan property tests compare against.
 	noBlock bool
+	// fj arms the certify fault hook; nil (the default) keeps it inert.
+	// Engine.finish copies the engine's injector here.
+	fj *fault.Injector
 }
 
 // NewChecker builds a checker over the given rules, including the MD
@@ -238,12 +250,27 @@ func (c *Checker) certTasks(d *relation.Relation) []certTask {
 
 // Check certifies d against every rule and returns the violation report.
 // It never mutates d. Certification tasks run concurrently when the checker
-// has a worker budget; the report is identical for any worker count.
+// has a worker budget; the report is identical for any worker count. Check
+// is the legacy non-erroring form: a failure (possible only with a
+// cancellable context or injected faults) panics.
 func (c *Checker) Check(d *relation.Relation) *Report {
+	rep, err := c.CheckContext(context.Background(), d)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// CheckContext is Check under a context: certification stops between tasks
+// on cancellation and returns ErrCanceled/ErrDeadline; a panicking task is
+// contained and returned as a *WorkerError. Certification never mutates d,
+// so there is nothing to roll back.
+func (c *Checker) CheckContext(ctx context.Context, d *relation.Relation) (*Report, error) {
 	tasks := c.certTasks(d)
 	subs := make([]ruleReport, len(tasks))
 	run := func(ti int) {
 		t := tasks[ti]
+		c.fj.At(fault.SiteCertify, t.ri, t.lo)
 		// Certification is read-only, so tasks need no propose/commit
 		// machinery — just disjoint result slots. Matchers are forked per
 		// task (shared immutable indexes, private scratch), exactly as the
@@ -254,12 +281,8 @@ func (c *Checker) Check(d *relation.Relation) *Report {
 		}
 		subs[ti] = c.checkRule(d, t.ri, t.lo, t.hi, x)
 	}
-	if c.workers <= 1 {
-		for ti := range tasks {
-			run(ti)
-		}
-	} else {
-		fanOut(c.workers, len(tasks), run)
+	if err := fanOut(ctx, "certify", c.workers, len(tasks), run); err != nil {
+		return nil, err
 	}
 
 	// Ordered merge: rule order, ascending-lo concatenation within a rule
@@ -292,7 +315,7 @@ func (c *Checker) Check(d *relation.Relation) *Report {
 		rep.Truncated += rr.truncated
 		rep.CertVisits += rr.visits
 	}
-	return rep
+	return rep, nil
 }
 
 // checkRule certifies d against rule ri over the data tuples in [lo, hi) —

@@ -17,11 +17,14 @@
 package clean
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/avl"
+	"repro/internal/fault"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -84,6 +87,28 @@ type Options struct {
 	// inline and pooled execution are fix-for-fix identical by the
 	// propose/commit merge argument.
 	SeqCutoff int
+	// Deadline is the soft wall-clock budget of the run. Zero means none.
+	// Unlike a context deadline — which aborts with ErrDeadline — exceeding
+	// the soft budget degrades gracefully: the engine stops proposing new
+	// work at the next round boundary, finishes the round already committed,
+	// runs the Checker over whatever state it reached, and returns a Result
+	// whose Report is flagged Degraded with the exact remaining-violation
+	// counts. A truthful partial answer instead of an overrun or a lie.
+	// Setting Deadline makes the outcome timing-dependent by design, so the
+	// byte-identity suites never set it.
+	Deadline time.Duration
+	// MaxFixes is the soft resource ceiling on applied fixes: once the run
+	// has recorded at least MaxFixes fixes it stops proposing at the next
+	// round boundary and degrades exactly like Deadline. Zero means
+	// unlimited. Unlike Deadline, MaxFixes is deterministic: the same input
+	// and options degrade at the same point every run.
+	MaxFixes int
+	// Fault arms the deterministic fault injector (internal/fault) on the
+	// engine's hook points — applier visits, matcher probes, pool
+	// scheduling, certification tasks. Nil (the default) leaves the hooks
+	// inert at the cost of one predictable nil-check branch. Only the
+	// robustness property suite sets it.
+	Fault *fault.Injector
 }
 
 // DefaultSeqCutoff is the inline-execution work threshold used when
@@ -216,6 +241,13 @@ type Result struct {
 	// goroutine — and the split across workers depends on runtime
 	// scheduling, so it is reported (uniclean -bench) but never gated.
 	WorkerVisits []int64
+	// Degraded reports that a soft budget (Options.Deadline or
+	// Options.MaxFixes) stopped the run before the pipeline's fixpoint:
+	// every committed round is complete and certified, but violations the
+	// engine could have repaired may remain, counted exactly in Report.
+	// DegradeReason names the exhausted budget ("deadline", "max-fixes").
+	Degraded      bool
+	DegradeReason string
 }
 
 // FixesMarked returns the subset of Fixes carrying the given mark, i.e. the
@@ -283,13 +315,43 @@ type Engine struct {
 	egroups map[string]*egroup // id -> group currently keyed in etree
 	eredo   []eref             // groups extracted by the previous call
 	eSeeded bool               // eRepair's full seeding has run
+
+	// ctx carries the run's cooperative cancellation: the round loops, the
+	// eRepair resolution loop, the pool's claim loops and the certify tasks
+	// all poll it, so a cancel or deadline surfaces as a typed error within
+	// one round. Always non-nil (Background for the legacy Run/New API).
+	ctx context.Context
+	// fail is the first failure observed — ErrCanceled, ErrDeadline, or a
+	// contained *WorkerError. Once set it poisons the engine: every phase
+	// becomes a no-op and the run returns it. The transaction argument is
+	// what makes the poisoned state safe: a failure detected inside a
+	// parallel fan-out rewinds every pending proposal before fail is set, so
+	// the clone holds exactly the committed rounds, never a prefix of one.
+	fail error
+	// degraded names the soft budget that stopped proposal ("deadline",
+	// "max-fixes"), or "" while the run is within budget. Unlike fail, a
+	// degraded engine still certifies: Finish runs the Checker and flags
+	// the Result and Report.
+	degraded string
+	// start anchors the Options.Deadline soft budget.
+	start time.Time
+	// fj is Options.Fault; nil keeps every hook point inert.
+	fj *fault.Injector
 }
 
 // New prepares an engine: it clones data, orders the rules per Section 6.2,
 // builds the MD blocking indexes over master, and computes the scheduler
 // state (reverse dependency map, variable-CFD group indexes) over the clone.
-// master may be nil when the rule set contains no MDs.
+// master may be nil when the rule set contains no MDs. The engine is not
+// cancellable; use NewContext to attach a context.
 func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engine {
+	return NewContext(context.Background(), data, master, rules, opts)
+}
+
+// NewContext is New with a context attached: the engine polls ctx at round
+// granularity (round loops, the eRepair resolution loop, pool claim loops,
+// certify tasks) and fails with ErrCanceled/ErrDeadline once it is done.
+func NewContext(ctx context.Context, data, master *relation.Relation, rules []rule.Rule, opts Options) *Engine {
 	e := &Engine{
 		data:   data.Clone(),
 		master: master,
@@ -297,6 +359,9 @@ func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engi
 		opts:   opts,
 		res:    &Result{Match: make(map[string]*MatchStats), Apply: make(map[string]*ApplyStats)},
 		seen:   make(map[string]bool),
+		ctx:    ctx,
+		start:  time.Now(),
+		fj:     opts.Fault,
 	}
 	e.matchers = make([]*matcher, len(e.rules))
 	e.apply = make([]*ApplyStats, len(e.rules))
@@ -361,25 +426,109 @@ func (e *Engine) clearActive() {
 // hard-capped by the cell count as a backstop against write cycles through
 // interacting rules.
 func Run(data, master *relation.Relation, rules []rule.Rule, opts Options) *Result {
-	e := New(data, master, rules, opts)
+	res, err := RunContext(context.Background(), data, master, rules, opts)
+	if err != nil {
+		// Unreachable without a cancellable context or an armed fault
+		// injector — Background never cancels, so the only failure mode
+		// left is a contained panic, which the legacy API re-raises.
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is Run under a context: a cancel or deadline stops the run at
+// the next cancellation point (round boundaries, pool claim loops, the
+// eRepair resolution loop, certify tasks) and returns ErrCanceled or
+// ErrDeadline. Panics anywhere in the pipeline are contained and returned as
+// a *WorkerError. On any error the caller's input relation is untouched —
+// the engine only ever writes its private clone — and no Result is returned:
+// a run either completes (possibly Degraded, see Options.Deadline/MaxFixes)
+// or fails as a unit.
+func RunContext(ctx context.Context, data, master *relation.Relation, rules []rule.Rule, opts Options) (res *Result, err error) {
+	defer func() {
+		// Containment of last resort: a panic on the merge goroutine — the
+		// sequential phase code, an inline applier, the checker driver —
+		// surfaces as a structured error instead of tearing down the
+		// process. Pool workers have their own recover (see runParallel and
+		// fanOut) so a worker panic never reaches the runtime's crash path.
+		if r := recover(); r != nil {
+			if we, ok := r.(*WorkerError); ok {
+				res, err = nil, we
+				return
+			}
+			res, err = nil, newWorkerError(r, "run", "", -1, -1)
+		}
+	}()
+	e := NewContext(ctx, data, master, rules, opts)
 	maxPasses := 1 + data.Len()*data.Schema.Arity()
 	for pass := 0; pass < maxPasses; pass++ {
 		before := len(e.res.Fixes) + e.res.Asserts
 		e.CRepair()
 		e.ERepair()
 		e.HRepair()
+		if e.fail != nil || e.degraded != "" {
+			break
+		}
 		if len(e.res.Fixes)+e.res.Asserts == before {
 			break
 		}
 	}
-	return e.Finish()
+	return e.finish()
+}
+
+// interrupted reports whether the engine must stop: a prior failure, or the
+// context having been canceled (which becomes the failure). Every phase
+// checks it at round granularity, which bounds cancellation latency to one
+// round of the current worklists.
+func (e *Engine) interrupted() bool {
+	if e.fail != nil {
+		return true
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.fail = ctxErr(err)
+		return true
+	}
+	return false
+}
+
+// exhausted reports whether a soft budget has run out, recording the reason
+// on first detection. Checked at the same round boundaries as interrupted:
+// the round already committed is kept — it is complete — and no new round
+// starts, which is the "finish committed rounds, then degrade" contract.
+func (e *Engine) exhausted() bool {
+	if e.degraded != "" {
+		return true
+	}
+	if e.opts.MaxFixes > 0 && len(e.res.Fixes) >= e.opts.MaxFixes {
+		e.degraded = "max-fixes"
+		return true
+	}
+	if e.opts.Deadline > 0 && time.Since(e.start) >= e.opts.Deadline {
+		e.degraded = "deadline"
+		return true
+	}
+	return false
 }
 
 // Finish certifies the repaired relation with a Checker pass — the
 // termination proof of the pipeline: every rule is re-verified from the data
 // alone, independently of what the repair phases claim to have fixed — and
-// returns the accumulated result.
+// returns the accumulated result. Finish is the legacy non-erroring form: a
+// failure (possible only with a cancellable context or injected faults)
+// panics, as the pre-context engine would have.
 func (e *Engine) Finish() *Result {
+	res, err := e.finish()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// finish certifies and assembles the Result, or returns the run's failure.
+func (e *Engine) finish() (*Result, error) {
+	if e.interrupted() {
+		return nil, e.fail
+	}
 	e.res.Data = e.data
 	if e.pool != nil {
 		e.res.WorkerVisits = append([]int64(nil), e.pool.visits...)
@@ -389,7 +538,17 @@ func (e *Engine) Finish() *Result {
 	// worker budget the appliers had; the rule-ordered report merge keeps
 	// the Report deterministic for any worker count, so -certify output is
 	// identical whatever -workers says.
-	e.res.Report = newChecker(e.rules, e.master, e.matchers, e.opts.workerCount()).Check(e.data)
+	ck := newChecker(e.rules, e.master, e.matchers, e.opts.workerCount())
+	ck.fj = e.fj
+	rep, err := ck.CheckContext(e.ctx, e.data)
+	if err != nil {
+		return nil, err
+	}
+	e.res.Report = rep
+	if e.degraded != "" {
+		e.res.Degraded, e.res.DegradeReason = true, e.degraded
+		rep.Degraded, rep.DegradeReason = true, e.degraded
+	}
 	for _, r := range e.rules {
 		if clean, _ := e.res.Report.RuleClean(r.Name()); clean {
 			e.res.Resolved = append(e.res.Resolved, r.Name())
@@ -397,7 +556,7 @@ func (e *Engine) Finish() *Result {
 			e.res.Unresolved = append(e.res.Unresolved, r.Name())
 		}
 	}
-	return e.res
+	return e.res, nil
 }
 
 // hbudget resolves the per-cell change budget of hRepair.

@@ -2,6 +2,7 @@ package clean
 
 import (
 	"repro/internal/cfd"
+	"repro/internal/fault"
 	"repro/internal/md"
 	"repro/internal/relation"
 	"repro/internal/rule"
@@ -24,10 +25,19 @@ import (
 // so the result is identical either way.
 func (e *Engine) CRepair() {
 	for {
+		// Cancellation points sit at round granularity: a round already in
+		// flight finishes (or is rewound whole by the parallel layer), so a
+		// cancel can never expose a half-committed round.
+		if e.interrupted() || e.exhausted() {
+			return
+		}
 		e.res.Rounds++
 		seeded := e.cSeeded
 		progress := 0
 		for ri, r := range e.rules {
+			if e.interrupted() {
+				return
+			}
 			if e.opts.Rescan || !seeded {
 				progress += e.applyRuleFull(ri, r)
 			} else {
@@ -189,6 +199,7 @@ func (ap *applier) matchMDTuple(ri int, m *md.MD, i int) int {
 	}
 	ap.stat(ri).CTuples++
 	e := ap.e
+	e.fj.At(fault.SiteProbe, ri, i)
 	t := e.data.Tuples[i]
 	conf := minConfAt(t, x.eqDataAttrs)
 	if conf < e.opts.Eta {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/avl"
 	"repro/internal/cfd"
+	"repro/internal/fault"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -46,6 +47,9 @@ type eref struct {
 // the relation with cfd.Groups, as in the reference engine; the tree ends up
 // identical either way, since unchanged groups keep their (entropy, id) key.
 func (e *Engine) ERepair() {
+	if e.interrupted() || e.exhausted() {
+		return
+	}
 	var varCFDs []*cfd.CFD
 	var varRules []int // rule indexes parallel to varCFDs
 	for ri, r := range e.rules {
@@ -168,14 +172,24 @@ func (e *Engine) ERepair() {
 			}
 		}
 		if e.inline(work) {
-			for _, t := range tasks {
+			for ti, t := range tasks {
+				e.fj.At(fault.SiteSeed, ti, 0)
 				rekey(t.vi, t.key, t.kid, t.members)
 			}
 		} else {
-			fanOut(len(e.pool.workers), len(tasks), func(ti int) {
+			if err := fanOut(e.ctx, "eRepair", len(e.pool.workers), len(tasks), func(ti int) {
 				t := &tasks[ti]
+				e.fj.At(fault.SiteSeed, ti, 0)
 				t.entropy, t.distinct = groupEntropy(e.data, varCFDs[t.vi].RHS, t.members)
-			})
+			}); err != nil {
+				// Seeding never wrote the relation — the tasks only fill
+				// their own slots — so poisoning the engine and leaving
+				// eSeeded false is a consistent stop.
+				if e.fail == nil {
+					e.fail = err
+				}
+				return
+			}
 			// Replay rekey's bookkeeping per task, in slice order: count the
 			// members examined, then key the still-conflicted groups. The
 			// tree and groups map start empty on the seeding call and done
@@ -210,6 +224,12 @@ func (e *Engine) ERepair() {
 		}
 	}
 	for tree.Len() > 0 {
+		// Each resolution is one committed transaction (sequential writes
+		// plus re-keying); checking between them keeps the tree and the
+		// relation mutually consistent at every possible stop.
+		if e.interrupted() || e.exhausted() {
+			return
+		}
 		k, _ := tree.Min()
 		tree.Delete(k)
 		g := groups[k.ID]

@@ -45,10 +45,17 @@ const DefaultHBudget = 3
 // during the deterministic commit.
 func (e *Engine) HRepair() {
 	for {
+		// Same round-granularity cancellation points as CRepair.
+		if e.interrupted() || e.exhausted() {
+			return
+		}
 		e.res.HRounds++
 		seeded := e.hSeeded
 		writes := 0
 		for ri, r := range e.rules {
+			if e.interrupted() {
+				return
+			}
 			full := e.opts.Rescan || !seeded
 			switch r.Kind {
 			case rule.ConstantCFD:

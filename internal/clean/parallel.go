@@ -1,10 +1,12 @@
 package clean
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/relation"
 )
 
@@ -331,12 +333,45 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 	if grain > 8 {
 		grain = 8
 	}
+	// Failure containment: each item runs under its own recover, so one
+	// panicking rule application records a structured *WorkerError in its
+	// item-indexed slot and trips the abort flag instead of crashing the
+	// process. Peers poll the flag (and the run context) between claim
+	// batches and drain out; after the barrier the lowest-index recorded
+	// failure wins, which is deterministic for a deterministic fault source.
+	// Panics outside any item — claim/steal bookkeeping, the scheduling
+	// fault hook — land in a per-worker slot instead.
+	fails := make([]*WorkerError, len(items))
+	schedFails := make([]*WorkerError, n)
+	var aborted atomic.Bool
+	ruleName := e.rules[ri].Name()
+	runItem := func(w int, ap *applier, idx int) {
+		defer func() {
+			ap.buf = nil
+			if r := recover(); r != nil {
+				fails[idx] = newWorkerError(r, phaseName(phase), ruleName, w, idx)
+				aborted.Store(true)
+			}
+		}()
+		ap.buf = &props[idx]
+		e.fj.At(fault.SiteApply, ri, idx)
+		fn(ap, items[idx])
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int, ap *applier) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					schedFails[w] = newWorkerError(r, phaseName(phase), ruleName, w, -1)
+					aborted.Store(true)
+				}
+			}()
 			for {
+				if aborted.Load() || e.ctx.Err() != nil {
+					return
+				}
 				lo, hi, ok := queues[w].claim(grain)
 				if !ok {
 					if !stealInto(queues, w) {
@@ -344,11 +379,13 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 					}
 					continue
 				}
+				e.fj.At(fault.SiteSched, ri, lo)
 				for idx := lo; idx < hi; idx++ {
-					ap.buf = &props[idx]
-					fn(ap, items[idx])
+					if aborted.Load() {
+						return
+					}
+					runItem(w, ap, idx)
 				}
-				ap.buf = nil
 			}
 		}(w, p.workers[w])
 	}
@@ -356,6 +393,8 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 
 	// Merge the deterministic work counters: order-independent sums into
 	// the same per-rule and per-MD counters the sequential engine bumps.
+	// This runs even on a failed fan-out so the worker scratch is zeroed
+	// for whoever runs the pool next.
 	for w, ap := range p.workers[:n] {
 		p.visits[w] += int64(ap.scratch.Visits())
 		e.apply[ri].add(ap.scratch)
@@ -366,6 +405,37 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 				f.stats = MatchStats{MasterSize: x.stats.MasterSize}
 			}
 		}
+	}
+
+	// Failed or canceled fan-out: the round is a transaction, so rewind
+	// every proposal's propose-time cell writes — committing a prefix is
+	// exactly the inconsistency the commit boundary exists to rule out —
+	// and poison the engine with the failure. Items own disjoint cells, so
+	// the per-item reverse-order rewinds compose in any item order.
+	if aborted.Load() || e.interrupted() {
+		var werr *WorkerError
+		for _, f := range fails {
+			if f != nil {
+				werr = f
+				break
+			}
+		}
+		if werr == nil {
+			for _, f := range schedFails {
+				if f != nil {
+					werr = f
+					break
+				}
+			}
+		}
+		if werr != nil && e.fail == nil {
+			e.fail = werr
+		}
+		e.interrupted() // no worker error: record the context cancellation
+		for idx := range props {
+			e.rewind(props[idx].ops)
+		}
+		return 0
 	}
 
 	// Commit: rewind each item's propose-time writes and replay its ops
@@ -391,35 +461,62 @@ func runParallel[T any](p *pool, e *Engine, phase, ri int, items []T,
 // fanOut runs fn(task) for every task in [0, tasks) across up to workers
 // goroutines pulling task indexes from an atomic cursor. It is the
 // read-only sibling of runParallel for passes with no proposals to merge —
-// the Checker's per-rule certification fan-out — where tasks write only
-// their own task-indexed result slot and the caller merges in task order
-// afterwards, so the outcome is identical for any worker count.
-func fanOut(workers, tasks int, fn func(task int)) {
+// the Checker's per-rule certification fan-out and eRepair's seeding pass —
+// where tasks write only their own task-indexed result slot and the caller
+// merges in task order afterwards, so the outcome is identical for any
+// worker count. Each task runs under its own recover; on a panic or a
+// context cancellation the remaining tasks are skipped and the error —
+// the lowest-index *WorkerError, else the typed cancellation — is returned.
+// The caller must discard the partially filled result slots on error.
+func fanOut(ctx context.Context, phase string, workers, tasks int, fn func(task int)) error {
 	if workers > tasks {
 		workers = tasks
 	}
-	if workers <= 1 {
-		for task := 0; task < tasks; task++ {
-			fn(task)
-		}
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				task := int(cursor.Add(1)) - 1
-				if task >= tasks {
-					return
-				}
-				fn(task)
+	fails := make([]*WorkerError, tasks)
+	var aborted atomic.Bool
+	runTask := func(shard, task int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fails[task] = newWorkerError(r, phase, "", shard, task)
+				aborted.Store(true)
 			}
 		}()
+		fn(task)
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for task := 0; task < tasks && !aborted.Load() && ctx.Err() == nil; task++ {
+			runTask(-1, task)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					if aborted.Load() || ctx.Err() != nil {
+						return
+					}
+					task := int(cursor.Add(1)) - 1
+					if task >= tasks {
+						return
+					}
+					runTask(w, task)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, f := range fails {
+		if f != nil {
+			return f
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	return nil
 }
 
 // applyTuples runs one per-tuple rule over the given tuple ids (ascending),
@@ -429,7 +526,10 @@ func fanOut(workers, tasks int, fn func(task int)) {
 func (e *Engine) applyTuples(phase, ri int, ids []int, fn func(*applier, int) int) int {
 	if e.inline(len(ids)) {
 		progress := 0
-		for _, i := range ids {
+		for ii, i := range ids {
+			// Same (rule, worklist-index) fault coordinates as the pool
+			// path, so a seed fires the same faults inline and sharded.
+			e.fj.At(fault.SiteApply, ri, ii)
 			e.setActive(phase, ri, i)
 			progress += fn(e.ap, i)
 		}
@@ -453,7 +553,8 @@ func (e *Engine) applyGroups(phase, ri int, groups [][]int, fn func(*applier, []
 	}
 	if e.inline(work) {
 		progress := 0
-		for _, g := range groups {
+		for gi, g := range groups {
+			e.fj.At(fault.SiteApply, ri, gi)
 			progress += fn(e.ap, g)
 		}
 		return progress

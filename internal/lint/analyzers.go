@@ -1,8 +1,8 @@
 package lint
 
-// All returns the analyzer suite in reporting order: every determinism and
-// concurrency invariant the engine's identity guarantee rests on, as a
+// All returns the analyzer suite in reporting order: every determinism,
+// concurrency and robustness invariant the engine's guarantees rest on, as a
 // checked property.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, PoolOnly, SinkWrite, FloatEq}
+	return []*Analyzer{MapOrder, PoolOnly, SinkWrite, FloatEq, PanicFree}
 }

@@ -134,6 +134,7 @@ func TestMapOrderFixture(t *testing.T)  { runFixture(t, MapOrder, "maporder") }
 func TestPoolOnlyFixture(t *testing.T)  { runFixture(t, PoolOnly, "poolonly") }
 func TestSinkWriteFixture(t *testing.T) { runFixture(t, SinkWrite, "sinkwrite") }
 func TestFloatEqFixture(t *testing.T)   { runFixture(t, FloatEq, "floateq") }
+func TestPanicFreeFixture(t *testing.T) { runFixture(t, PanicFree, "panicfree") }
 
 // TestSuppressionGrammar pins the mandatory-reason rule: an annotation that
 // names no analyzer, names an unknown one, or carries no reason is itself a
@@ -209,6 +210,10 @@ func TestAppliesToFilter(t *testing.T) {
 		{FloatEq, "repro/internal/suffixtree", false},
 		{SinkWrite, "repro/internal/clean", true},
 		{SinkWrite, "repro/internal/md", false},
+		{PanicFree, "repro/internal/relation", true},
+		{PanicFree, "repro/internal/rule", true},
+		{PanicFree, "repro/internal/clean", false},
+		{PanicFree, "repro/cmd/uniclean", false},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inputReachablePkgs are the packages that parse untrusted input — CSV data
+// and confidence files, rule texts — where a panic is a denial of service an
+// attacker (or a typo) can trigger: malformed input must come back as a
+// structured error with file/line context, never tear down the process.
+// Internal-invariant panics (static schemas, arity checks behind validated
+// callers) stay, each carrying a //det:ok panicfree justification.
+var inputReachablePkgs = map[string]bool{
+	"repro/internal/relation": true,
+	"repro/internal/rule":     true,
+}
+
+func inInputReachablePkgs(path string) bool { return inputReachablePkgs[path] }
+
+// PanicFree flags calls to the builtin panic in the input-reachable
+// packages. The robustness contract of the malformed-input hardening is that
+// ReadCSV, ReadConfCSV, NewSchemaChecked and ParseRules reject bad input
+// with errors (pinned by FuzzReadCSV/FuzzParseRules); this analyzer keeps
+// the property from regressing one convenient panic at a time. A panic that
+// genuinely guards an internal invariant — unreachable from input by
+// construction — must say so: //det:ok panicfree <reason>.
+var PanicFree = &Analyzer{
+	Name:      "panicfree",
+	Doc:       "panic call in a package that parses untrusted input",
+	AppliesTo: inInputReachablePkgs,
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Only the builtin counts: a shadowing local identifier
+				// named panic (however ill-advised) is not a crash.
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"panic in an input-reachable package crashes on malformed input; return an error or annotate //det:ok panicfree <reason>")
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,31 @@
+// Package panicfree is the golden fixture for the panicfree analyzer: naked
+// builtin panics are flagged, //det:ok-annotated invariant panics and
+// shadowed identifiers are not.
+package panicfree
+
+import "errors"
+
+func parse(line string) error {
+	if line == "" {
+		panic("empty line") // want "panic in an input-reachable package"
+	}
+	return errors.New("bad line")
+}
+
+func parseValue(v string) (int, error) {
+	if v == "boom" {
+		panic(v) // want "return an error or annotate"
+	}
+	return len(v), nil
+}
+
+func invariant(ok bool) {
+	if !ok {
+		panic("broken invariant") //det:ok panicfree fixture stand-in for a panic unreachable from input by construction
+	}
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("a local identifier, not the builtin crash")
+}

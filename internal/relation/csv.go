@@ -53,6 +53,10 @@ func (r *Relation) WriteConfCSV(w io.Writer) error {
 // ReadCSV reads a relation from CSV. The first row is the header and defines
 // the schema (with the given relation name). The literal value "null" is
 // read as Null. All confidences are zero; use ReadConfCSV to attach them.
+//
+// The input is untrusted: a duplicated header column, a row of the wrong
+// arity, or a CSV syntax error all come back as errors carrying the
+// offending line, never as a panic (pinned by FuzzReadCSV).
 func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 	cr := csv.NewReader(rd)
 	cr.FieldsPerRecord = -1
@@ -60,17 +64,21 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
-	r := New(NewSchema(name, header...))
-	for {
+	schema, err := NewSchemaChecked(name, header...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: CSV header line 1: %w", err)
+	}
+	r := New(schema)
+	for row := 2; ; row++ { // row counts CSV records, header included
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
+			return nil, fmt.Errorf("relation: reading CSV row: %w", err) // csv.ParseError carries the line
 		}
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("relation: row has %d fields, header has %d", len(rec), len(header))
+			return nil, fmt.Errorf("relation: row %d has %d fields, header has %d", row, len(rec), len(header))
 		}
 		for i, v := range rec {
 			if v == "null" {
@@ -100,7 +108,7 @@ func ReadConfCSV(r *Relation, rd io.Reader) error {
 		for i, s := range rec {
 			c, err := strconv.ParseFloat(s, 64)
 			if err != nil {
-				return fmt.Errorf("relation: bad confidence %q: %w", s, err)
+				return fmt.Errorf("relation: bad confidence %q for tuple %d: %w", s, t.ID, err)
 			}
 			t.Conf[i] = c
 		}

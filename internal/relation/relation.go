@@ -21,7 +21,7 @@ func New(schema *Schema) *Relation {
 // that is a programming error, not a data error.
 func (r *Relation) Append(values ...string) *Tuple {
 	if len(values) != r.Schema.Arity() {
-		panic(fmt.Sprintf("relation: %d values for schema %s of arity %d",
+		panic(fmt.Sprintf("relation: %d values for schema %s of arity %d", //det:ok panicfree invariant: ReadCSV validates row arity before Append; direct callers pass literal rows
 			len(values), r.Schema.Name, r.Schema.Arity()))
 	}
 	t := NewTuple(len(r.Tuples), values)
@@ -85,7 +85,7 @@ func (r *Relation) MarkCounts() [4]int {
 // have the same schema and cardinality; tuples are compared by position.
 func (r *Relation) DiffCells(other *Relation) int {
 	if r.Schema.Arity() != other.Schema.Arity() || r.Len() != other.Len() {
-		panic("relation: DiffCells on incompatible relations")
+		panic("relation: DiffCells on incompatible relations") //det:ok panicfree invariant: callers diff a relation against its own clone
 	}
 	n := 0
 	for i, t := range r.Tuples {

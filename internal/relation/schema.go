@@ -25,17 +25,34 @@ type Schema struct {
 }
 
 // NewSchema creates a schema with the given relation name and attributes.
-// Attribute names must be unique; NewSchema panics otherwise since schemas
-// are static program data, not user input.
+// Attribute names must be unique; NewSchema panics otherwise and is therefore
+// only for schemas that are static program data. Anything derived from user
+// input — a CSV header, a config file — must go through NewSchemaChecked.
 func NewSchema(name string, attrs ...string) *Schema {
+	s, err := NewSchemaChecked(name, attrs...)
+	if err != nil {
+		panic(err.Error()) //det:ok panicfree static-schema constructor; input-derived schemas use NewSchemaChecked
+	}
+	return s
+}
+
+// NewSchemaChecked creates a schema from possibly untrusted attribute names,
+// returning an error (instead of panicking) on the malformed-input paths a
+// CSV header reaches: two columns with the same name, or a column with no
+// name at all (rules and reports address attributes by name, and a nameless
+// column cannot round-trip through CSV output).
+func NewSchemaChecked(name string, attrs ...string) (*Schema, error) {
 	s := &Schema{Name: name, Attrs: attrs, index: make(map[string]int, len(attrs))}
 	for i, a := range attrs {
-		if _, dup := s.index[a]; dup {
-			panic(fmt.Sprintf("relation: duplicate attribute %q in schema %s", a, name))
+		if a == "" {
+			return nil, fmt.Errorf("relation: empty attribute name in schema %s (column %d)", name, i+1)
+		}
+		if j, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q in schema %s (columns %d and %d)", a, name, j+1, i+1)
 		}
 		s.index[a] = i
 	}
-	return s
+	return s, nil
 }
 
 // Arity returns the number of attributes.
@@ -55,7 +72,7 @@ func (s *Schema) Index(attr string) int {
 func (s *Schema) MustIndex(attr string) int {
 	i := s.Index(attr)
 	if i < 0 {
-		panic(fmt.Sprintf("relation: schema %s has no attribute %q", s.Name, attr))
+		panic(fmt.Sprintf("relation: schema %s has no attribute %q", s.Name, attr)) //det:ok panicfree invariant: rule definitions are static program data, validated at parse time
 	}
 	return i
 }

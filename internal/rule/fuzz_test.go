@@ -23,8 +23,18 @@ func FuzzParseRules(f *testing.F) {
 	f.Add("# comment\n\ncfd post= -> St=")
 	f.Add("cfd post -> St=EH7 4AH\ncfd St=a=b -> post=x->y")
 	f.Add("cfd -> \nmd ~( -> =")
+	f.Add("cfd NoSuchAttr=1 -> city=Edi") // unknown attribute
+	f.Add("md FN~FN(edit<=x) -> FN=FN")   // malformed similarity bound
+	f.Add("md FN=FN -> zip=zip")          // conclusion names a master attr on the data side
+	f.Add("cfd AC=131 -> city=Edi\x00")   // embedded NUL
+	f.Add("cfd AC=\xff\xfe -> city=�")    // invalid UTF-8 and replacement char
 
 	f.Fuzz(func(t *testing.T, text string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseRules panicked on %q: %v", text, r)
+			}
+		}()
 		cfds, mds, err := ParseRules(data, master, text)
 		if err != nil {
 			return // rejected input: only the no-panic property applies
