@@ -44,6 +44,21 @@ type benchReport struct {
 	Asserts           int
 	Conflicts         int
 	Unresolved        int
+
+	// Update-replay mode (-bench.updates > 0): a generated upsert/delete
+	// stream is replayed through a streaming engine (clean.NewStream) in
+	// sequential and parallel mode. UpdateVisits sums the applier tuple
+	// visits of every update's re-run — the deterministic work measure,
+	// hard-checked equal across worker counts and gated ±20% against the
+	// baseline in both directions (a collapse to zero means the replay
+	// stopped doing measured work). UpdatePatched counts rule
+	// certifications served from the incremental cache across the stream;
+	// UpdateNs and UpdatesPerSec are the recorded (never gated) wall side.
+	UpdateCount   int
+	UpdateVisits  int
+	UpdatePatched int
+	UpdateNs      int64
+	UpdatesPerSec float64
 }
 
 // maxVisitRegression is the CI gate: the run fails when the incremental
@@ -110,7 +125,7 @@ func (r *benchReport) deriveRatios() {
 // pipeline once per engine mode — full-rescan reference, sequential
 // incremental, parallel incremental with the requested worker count —
 // writes the JSON report, and enforces the baseline gate when one is given.
-func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr io.Writer) error {
+func runBench(cfg gen.Config, workers, updates int, outPath, baselinePath string, stderr io.Writer) error {
 	inst := gen.Generate(cfg)
 	opts := clean.DefaultOptions()
 
@@ -196,6 +211,12 @@ func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr 
 	}
 	rep.deriveRatios()
 
+	if updates > 0 {
+		if err := runUpdateBench(inst, updates, workers, opts, &rep, stderr); err != nil {
+			return err
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -231,6 +252,83 @@ func runBench(cfg gen.Config, workers int, outPath, baselinePath string, stderr 
 		return err
 	}
 	return checkBaseline(rep, base, stderr)
+}
+
+// runUpdateBench replays a generated update stream through streaming
+// engines in sequential and parallel mode and fills the report's Update*
+// fields. The two replays must agree on every final observable and on the
+// summed applier visit counters — the streaming analogue of the
+// parallel-vs-sequential hard check of the batch bench.
+func runUpdateBench(inst *gen.Instance, updates, workers int, opts clean.Options, rep *benchReport, stderr io.Writer) error {
+	stream := gen.GenerateUpdates(inst, gen.UpdateConfig{
+		Updates:      updates,
+		DeleteRate:   0.15,
+		AppendRate:   0.25,
+		HotGroupRate: 0.2,
+		Seed:         inst.Config.Seed,
+	})
+
+	type replay struct {
+		res     *clean.Result
+		visits  int
+		patched int
+		ns      int64
+	}
+	run := func(w int) (replay, error) {
+		o := opts
+		o.Workers = w
+		e, err := clean.NewStream(inst.Data, inst.Master, inst.Rules, o)
+		if err != nil {
+			return replay{}, fmt.Errorf("bench: stream setup: %w", err)
+		}
+		var out replay
+		t0 := time.Now()
+		for i, u := range stream {
+			var res *clean.Result
+			if u.Delete {
+				res, err = e.Delete(u.ID)
+			} else {
+				res, err = e.Upsert(u.ID, u.Values, u.Conf)
+			}
+			if err != nil {
+				return replay{}, fmt.Errorf("bench: update %d: %w", i, err)
+			}
+			out.visits += res.TotalVisits()
+			out.patched += res.Report.Patched
+		}
+		out.ns = time.Since(t0).Nanoseconds()
+		out.res = e.Result()
+		return out, nil
+	}
+
+	seq, err := run(1)
+	if err != nil {
+		return err
+	}
+	par, err := run(workers)
+	if err != nil {
+		return err
+	}
+	if err := diffRuns("parallel update replay", "sequential update replay", par.res, seq.res); err != nil {
+		return err
+	}
+	if par.visits != seq.visits {
+		return fmt.Errorf("bench: update replay visits disagree: parallel %d != sequential %d",
+			par.visits, seq.visits)
+	}
+	if par.patched != seq.patched {
+		return fmt.Errorf("bench: update replay patched counts disagree: parallel %d != sequential %d",
+			par.patched, seq.patched)
+	}
+
+	rep.UpdateCount = len(stream)
+	rep.UpdateVisits = seq.visits
+	rep.UpdatePatched = seq.patched
+	rep.UpdateNs = par.ns
+	rep.UpdatesPerSec = ratio(float64(len(stream)), float64(par.ns)/1e9)
+	fmt.Fprintf(stderr, "bench: updates(%2d)   %8.1fms  %9d visits, %d certifications patched, %.1f updates/sec\n",
+		workers, float64(par.ns)/1e6, rep.UpdateVisits, rep.UpdatePatched, rep.UpdatesPerSec)
+	return nil
 }
 
 // resolveBaseline maps the -bench.baseline argument to a concrete file:
@@ -307,6 +405,21 @@ func checkBaseline(rep, base benchReport, stderr io.Writer) error {
 				got, limit, base.CertifyVisits)
 		}
 	}
+	// The update-replay gate is symmetric: visits above the band mean the
+	// streaming layer started re-doing work (index rebuilds, dead caching),
+	// below it that the replay stopped measuring real work — both are
+	// regressions of what the baseline certifies. It arms only when both
+	// sides actually replayed a stream.
+	if base.UpdateVisits > 0 && rep.UpdateCount > 0 {
+		if got, limit := rep.UpdateVisits, float64(base.UpdateVisits)*maxVisitRegression; float64(got) > limit {
+			return fmt.Errorf("bench: update-replay visits regressed: %d > %.0f (baseline %d +20%%)",
+				got, limit, base.UpdateVisits)
+		}
+		if got, floor := rep.UpdateVisits, float64(base.UpdateVisits)/maxVisitRegression; float64(got) < floor {
+			return fmt.Errorf("bench: update-replay visits collapsed: %d < %.0f (baseline %d -20%%); if the streaming layer genuinely got cheaper, regenerate the baseline",
+				got, floor, base.UpdateVisits)
+		}
+	}
 	if rep.RescanNs > 0 && rep.IncrementalNs > 0 {
 		if rep.Speedup < 1 {
 			return fmt.Errorf("bench: incremental engine slower than rescan (%.2fx)", rep.Speedup)
@@ -354,9 +467,13 @@ func checkBaseline(rep, base benchReport, stderr io.Writer) error {
 	if rep.Workers > 1 && rep.IncrementalNs > 0 && rep.ParallelNs > 0 {
 		parGate = fmt.Sprintf("parallel speedup %.2fx >= %.2f", rep.ParallelSpeedup, parallelWallFloor)
 	}
-	fmt.Fprintf(stderr, "bench: within baseline (visits %d <= %d +20%%, ratio %.2f >= %.2f -20%%, %s, %s, %s)\n",
+	updGate := "update gate skipped (no replay or no baseline count)"
+	if base.UpdateVisits > 0 && rep.UpdateCount > 0 {
+		updGate = fmt.Sprintf("update visits %d within %d +-20%%", rep.UpdateVisits, base.UpdateVisits)
+	}
+	fmt.Fprintf(stderr, "bench: within baseline (visits %d <= %d +20%%, ratio %.2f >= %.2f -20%%, %s, %s, %s, %s)\n",
 		rep.IncrementalVisits, base.IncrementalVisits, rep.VisitRatio, base.VisitRatio,
-		certGate, wallGate, parGate)
+		certGate, wallGate, parGate, updGate)
 	return nil
 }
 

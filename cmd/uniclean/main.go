@@ -5,7 +5,8 @@
 // Usage:
 //
 //	uniclean -data data.csv [-conf conf.csv] [-master master.csv] -rules rules.txt [-out repaired.csv] [-certify] [-workers N]
-//	uniclean -bench [-bench.tuples N] [-bench.dirty R] [-bench.seed S] [-workers N] [-bench.baseline bench/baseline.json]
+//	uniclean ... -updates updates.csv   # replay a streaming update file after the initial clean
+//	uniclean -bench [-bench.tuples N] [-bench.dirty R] [-bench.seed S] [-bench.updates N] [-workers N] [-bench.baseline bench/baseline.json]
 //
 // The repaired relation is written as CSV to -out ("-" for stdout); the
 // cleaning report — fix counts, matcher statistics, conflicts and the
@@ -14,6 +15,14 @@
 // dirty. Certification honors -workers too: its per-rule passes fan out
 // across the same pool as the repair appliers, and the report is identical
 // for any worker count.
+//
+// With -updates, the initial clean is followed by a streaming replay
+// (docs/streaming.md): each CSV record is either "upsert,<id>,v1,...,vN"
+// (overwrite tuple id, or append when id equals the current length; cell
+// confidences come from -defaultconf) or "delete,<id>" (tombstone the
+// tuple). Every accepted update leaves the instance and its certification
+// report exactly as a from-scratch run on the updated input would; invalid
+// records are reported to stderr and skipped.
 //
 // With -bench, the tool instead generates a synthetic dirty instance
 // (internal/gen), runs the pipeline with the full-rescan reference
@@ -24,6 +33,10 @@
 // counters regressed more than 20% against the committed baseline. The
 // three runs must agree fix-for-fix, and the parallel run must reproduce
 // the sequential visit counters exactly; either mismatch is a hard error.
+// With -bench.updates N, the report additionally replays a generated
+// N-operation update stream through the streaming engine, sequentially and
+// with -workers, records update visit counters and updates/sec, and gates
+// UpdateVisits against the baseline the same way.
 //
 // Exit status distinguishes failure modes: 0 when the output satisfies
 // every rule, 1 on usage, I/O or rule-parsing errors, 2 when cleaning
@@ -40,6 +53,7 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +62,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -109,12 +124,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "hard wall-clock limit; on expiry the run aborts with exit status 3 and writes no output (0 = none)")
 	deadline := fs.Duration("deadline", 0, "soft wall-clock budget; on expiry the engine stops proposing fixes and reports a degraded but truthful result (0 = none)")
 	maxFixes := fs.Int("maxfixes", 0, "soft fix budget; reaching it degrades the run like -deadline (0 = none)")
+	updatesPath := fs.String("updates", "", "CSV update stream to replay through the streaming engine after the initial clean: 'upsert,<id>,v1,...,vN' or 'delete,<id>' per record")
 	bench := fs.Bool("bench", false, "run the synthetic benchmark instead of cleaning CSV input")
 	benchTuples := fs.Int("bench.tuples", 10000, "bench: data relation size")
 	benchMaster := fs.Int("bench.master", 1000, "bench: master relation size")
 	benchDirty := fs.Float64("bench.dirty", 0.05, "bench: per-cell error rate")
 	benchFanout := fs.Int("bench.fanout", 3, "bench: constant-CFD fanout")
 	benchSeed := fs.Int64("bench.seed", 1, "bench: generator seed")
+	benchUpdates := fs.Int("bench.updates", 0, "bench: also replay this many generated upserts/deletes through the streaming engine, sequential and parallel (0 = off)")
 	benchOut := fs.String("bench.out", "", "bench: JSON report path (default BENCH_<sha>.json)")
 	benchBaseline := fs.String("bench.baseline", "", "bench: baseline JSON to gate regressions against; a directory picks baseline-multicore.json or baseline.json by effective CPU count")
 	benchSha := fs.String("bench.sha", "", "bench: label for the default report name (default $GITHUB_SHA or 'local')")
@@ -137,7 +154,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if out == "" {
 			out = fmt.Sprintf("BENCH_%s.json", benchSHA(*benchSha))
 		}
-		return runBench(cfg, *workers, out, *benchBaseline, stderr)
+		return runBench(cfg, *workers, *benchUpdates, out, *benchBaseline, stderr)
 	}
 	if *dataPath == "" || *rulesPath == "" {
 		fs.Usage()
@@ -185,11 +202,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s: no rules", *rulesPath)
 	}
 
-	res, err := clean.RunContext(ctx, data, master, rules,
-		clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan, Workers: *workers,
-			Deadline: *deadline, MaxFixes: *maxFixes})
-	if err != nil {
-		return err
+	opts := clean.Options{Eta: *eta, TopL: *topL, HBudget: *hBudget, Rescan: *rescan, Workers: *workers,
+		Deadline: *deadline, MaxFixes: *maxFixes}
+	var res *clean.Result
+	if *updatesPath != "" {
+		// Replay mode: clean once, then stream the update file through
+		// Upsert/Delete. Each accepted update leaves the engine exactly as
+		// a from-scratch run on the updated input would; a rejected update
+		// (bad id, wrong arity) is reported and skipped, and a canceled or
+		// failed one aborts with the engine's typed error.
+		e, err := clean.NewStreamContext(ctx, data, master, rules, opts)
+		if err != nil {
+			return err
+		}
+		applied, rejected, err := replayUpdates(ctx, e, *updatesPath, *defaultConf, stderr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "uniclean: replayed %d updates (%d rejected)\n", applied, rejected)
+		res = e.Result()
+	} else {
+		var err error
+		res, err = clean.RunContext(ctx, data, master, rules, opts)
+		if err != nil {
+			return err
+		}
 	}
 
 	out := stdout
@@ -204,7 +241,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := res.Data.WriteCSV(out); err != nil {
 		return err
 	}
-	report(stderr, data, master, rules, res, *verbose)
+	report(stderr, master, rules, res, *verbose)
 	if !res.Report.Clean() {
 		if *certify {
 			fmt.Fprint(stderr, res.Report)
@@ -212,6 +249,67 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d rules unresolved: %w", len(res.Unresolved), errDirty)
 	}
 	return nil
+}
+
+// replayUpdates streams the CSV update file through the engine: records
+// "upsert,<id>,v1,...,vN" (cells take -defaultconf confidence) and
+// "delete,<id>". A malformed record or an update the engine rejects
+// (clean.ErrBadUpdate) is reported to stderr and skipped; any other error
+// — cancellation, deadline, a contained worker failure — aborts the replay
+// with the engine guaranteed unchanged by the failed update.
+func replayUpdates(ctx context.Context, e *clean.Engine, path string, defaultConf float64, stderr io.Writer) (applied, rejected int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	reject := func(line int, why string) {
+		rejected++
+		fmt.Fprintf(stderr, "uniclean: update %d rejected: %s\n", line, why)
+	}
+	for line := 1; ; line++ {
+		rec, rerr := r.Read()
+		if rerr == io.EOF {
+			return applied, rejected, nil
+		}
+		if rerr != nil {
+			return applied, rejected, fmt.Errorf("%s: %w", path, rerr)
+		}
+		if len(rec) < 2 {
+			reject(line, "want 'upsert,<id>,v1,...' or 'delete,<id>'")
+			continue
+		}
+		id, aerr := strconv.Atoi(rec[1])
+		if aerr != nil {
+			reject(line, fmt.Sprintf("bad id %q", rec[1]))
+			continue
+		}
+		var uerr error
+		switch rec[0] {
+		case "delete":
+			_, uerr = e.DeleteContext(ctx, id)
+		case "upsert":
+			values := rec[2:]
+			conf := make([]float64, len(values))
+			for i := range conf {
+				conf[i] = defaultConf
+			}
+			_, uerr = e.UpsertContext(ctx, id, values, conf)
+		default:
+			reject(line, fmt.Sprintf("unknown op %q", rec[0]))
+			continue
+		}
+		switch {
+		case uerr == nil:
+			applied++
+		case errors.Is(uerr, clean.ErrBadUpdate):
+			reject(line, uerr.Error())
+		default:
+			return applied, rejected, uerr
+		}
+	}
 }
 
 func readRelation(path string) (*relation.Relation, error) {
@@ -224,13 +322,13 @@ func readRelation(path string) (*relation.Relation, error) {
 	return relation.ReadCSV(name, f)
 }
 
-func report(w io.Writer, data, master *relation.Relation, rules []rule.Rule, res *clean.Result, verbose bool) {
+func report(w io.Writer, master *relation.Relation, rules []rule.Rule, res *clean.Result, verbose bool) {
 	masterLen := 0
 	if master != nil {
 		masterLen = master.Len()
 	}
 	fmt.Fprintf(w, "uniclean: %d rules over %d tuples (master: %d tuples)\n",
-		len(rules), data.Len(), masterLen)
+		len(rules), res.Data.Len(), masterLen)
 	if res.Degraded {
 		fmt.Fprintf(w, "degraded: %s budget exhausted before the fixpoint; counts below are exact for the state reached\n",
 			res.DegradeReason)

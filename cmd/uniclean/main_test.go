@@ -213,6 +213,56 @@ func TestRunDegradedBudget(t *testing.T) {
 	}
 }
 
+// TestRunUpdatesReplay drives the -updates streaming replay: an append, a
+// delete and an overwrite are accepted, invalid records are rejected with a
+// message but do not abort, and the repaired output reflects the final
+// instance (appended row present, deleted row tombstoned to nulls).
+func TestRunUpdatesReplay(t *testing.T) {
+	dir := t.TempDir()
+	updates := filepath.Join(dir, "updates.csv")
+	stream := "upsert,5,Mary,Smith,20 Baker St,Ldn,020,NW1 6XE,7654321\n" +
+		"delete,2\n" +
+		"delete,99\n" +
+		"badop,1\n"
+	if err := os.WriteFile(updates, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "repaired.csv")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-data", filepath.Join(exampleDir, "data.csv"),
+		"-conf", filepath.Join(exampleDir, "conf.csv"),
+		"-master", filepath.Join(exampleDir, "master.csv"),
+		"-rules", filepath.Join(exampleDir, "rules.txt"),
+		"-updates", updates,
+		"-out", outPath,
+	}, &stdout, &stderr)
+	if err != nil && !errors.Is(err, errDirty) {
+		t.Fatalf("replay run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	report := stderr.String()
+	if !strings.Contains(report, "replayed 2 updates (2 rejected)") {
+		t.Errorf("missing replay summary:\n%s", report)
+	}
+	if !strings.Contains(report, "7 rules over 6 tuples") {
+		t.Errorf("report does not reflect the appended tuple:\n%s", report)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(strings.ReplaceAll(string(out), "\r\n", "\n")), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("repaired CSV has %d lines, want 7 (header + 6 tuples):\n%s", len(lines), out)
+	}
+	if lines[3] != "null,null,null,null,null,null,null" {
+		t.Errorf("deleted tuple not tombstoned: %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[6], "Mary,Smith") {
+		t.Errorf("appended tuple missing: %q", lines[6])
+	}
+}
+
 func TestRunMissingFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(context.Background(), nil, &stdout, &stderr); err == nil {

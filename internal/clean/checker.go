@@ -62,6 +62,13 @@ type Report struct {
 	// not an estimate. DegradeReason names the exhausted budget.
 	Degraded      bool
 	DegradeReason string
+	// Patched counts rules this report served from a previous report's
+	// cached per-rule result instead of re-checking — nonzero only on the
+	// streaming update path (see docs/streaming.md), where a rule none of
+	// whose read attributes changed since the last certified run keeps its
+	// prior violations verbatim. Deliberately absent from String: a patched
+	// report must be byte-identical to a from-scratch one.
+	Patched int
 
 	byRule    map[string]int // exact violations per checked rule name
 	cfds, mds int            // exact counts by dependency kind
@@ -227,10 +234,15 @@ type certTask struct {
 }
 
 // certTasks builds the certification task list in (rule, lo) order — the
-// merge order of Check.
-func (c *Checker) certTasks(d *relation.Relation) []certTask {
+// merge order of Check. A non-nil dirty mask drops the tasks of clean rules
+// entirely: checkPatched serves those from the cached per-rule reports, so
+// no worker ever visits them.
+func (c *Checker) certTasks(d *relation.Relation, dirty []bool) []certTask {
 	tasks := make([]certTask, 0, len(c.rules))
 	for ri, r := range c.rules {
+		if dirty != nil && !dirty[ri] {
+			continue
+		}
 		if c.workers > 1 && r.Kind == rule.MatchMD && c.master != nil {
 			n := d.Len() / certShardMin
 			if lim := c.workers * 4; n > lim {
@@ -266,7 +278,23 @@ func (c *Checker) Check(d *relation.Relation) *Report {
 // contained and returned as a *WorkerError. Certification never mutates d,
 // so there is nothing to roll back.
 func (c *Checker) CheckContext(ctx context.Context, d *relation.Relation) (*Report, error) {
-	tasks := c.certTasks(d)
+	rep, _, err := c.checkPatched(ctx, d, nil, nil)
+	return rep, err
+}
+
+// checkPatched is CheckContext with per-rule incremental patching: rules
+// whose dirty bit is unset are served verbatim from cached (the per-rule
+// reports of the previous certified pass, parallel to c.rules) instead of
+// being re-checked. A nil dirty mask means every rule is dirty — plain
+// CheckContext behavior. Because rule certification is a pure function of
+// the rule's read columns and the immutable master, a cached report for a
+// rule none of whose read attributes changed is byte-identical to what a
+// re-check would produce, violations, cap, truncation tally and visit
+// counters included. The returned perRule slice (parallel to c.rules)
+// holds every rule's merged report — re-checked or cached — for the next
+// patched pass to cache.
+func (c *Checker) checkPatched(ctx context.Context, d *relation.Relation, dirty []bool, cached []ruleReport) (*Report, []ruleReport, error) {
+	tasks := c.certTasks(d, dirty)
 	subs := make([]ruleReport, len(tasks))
 	run := func(ti int) {
 		t := tasks[ti]
@@ -282,27 +310,37 @@ func (c *Checker) CheckContext(ctx context.Context, d *relation.Relation) (*Repo
 		subs[ti] = c.checkRule(d, t.ri, t.lo, t.hi, x)
 	}
 	if err := fanOut(ctx, "certify", c.workers, len(tasks), run); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Ordered merge: rule order, ascending-lo concatenation within a rule
 	// (which reconstructs the sequential (T, S) violation stream), the
 	// per-rule cap re-applied over the concatenation, order-independent
 	// sums — byte-identical to the sequential pass for any worker count.
+	// Clean rules have no tasks; their merged report is the cached one,
+	// re-emitted into the same rule-order slot, so the Violations stream,
+	// counts and visit totals come out as if the rule had been re-checked.
 	rep := &Report{byRule: make(map[string]int, len(c.rules))}
+	perRule := make([]ruleReport, len(c.rules))
 	ti := 0
 	for ri := range c.rules {
 		var rr ruleReport
-		for ; ti < len(tasks) && tasks[ti].ri == ri; ti++ {
-			s := &subs[ti]
-			rr.count += s.count
-			rr.visits += s.visits
-			rr.violations = append(rr.violations, s.violations...)
+		if dirty != nil && !dirty[ri] {
+			rr = cached[ri]
+			rep.Patched++
+		} else {
+			for ; ti < len(tasks) && tasks[ti].ri == ri; ti++ {
+				s := &subs[ti]
+				rr.count += s.count
+				rr.visits += s.visits
+				rr.violations = append(rr.violations, s.violations...)
+			}
+			if len(rr.violations) > maxStoredPerRule {
+				rr.violations = rr.violations[:maxStoredPerRule]
+			}
+			rr.truncated = rr.count - len(rr.violations)
 		}
-		if len(rr.violations) > maxStoredPerRule {
-			rr.violations = rr.violations[:maxStoredPerRule]
-		}
-		rr.truncated = rr.count - len(rr.violations)
+		perRule[ri] = rr
 
 		name := c.rules[ri].Name()
 		rep.byRule[name] += rr.count // creates the entry even at zero: "checked"
@@ -315,7 +353,7 @@ func (c *Checker) CheckContext(ctx context.Context, d *relation.Relation) (*Repo
 		rep.Truncated += rr.truncated
 		rep.CertVisits += rr.visits
 	}
-	return rep, nil
+	return rep, perRule, nil
 }
 
 // checkRule certifies d against rule ri over the data tuples in [lo, hi) —

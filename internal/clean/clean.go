@@ -337,6 +337,31 @@ type Engine struct {
 	start time.Time
 	// fj is Options.Fault; nil keeps every hook point inert.
 	fj *fault.Injector
+
+	// Streaming state (see stream.go). Zero on batch engines: RunContext
+	// never sets any of it, so the one-shot pipeline pays nothing for the
+	// update API existing.
+	//
+	// streaming marks an engine built by NewStream; base is its raw input
+	// plus every accepted update (the instance a from-scratch run would be
+	// handed); deleted tracks tombstoned tuple ids; protos holds the master
+	// blocking indexes built once at construction, which every update's
+	// sub-run forks instead of rebuilding.
+	streaming bool
+	base      *relation.Relation
+	deleted   map[int]bool
+	protos    []*matcher
+	// certPrev/prevData feed the incremental certification of finish: the
+	// per-rule reports and final relation of the previously adopted run.
+	// A rule none of whose read attributes changed between prevData and the
+	// new final relation is served from certPrev instead of being
+	// re-checked. certOut is what finish produced, adopted as the next
+	// certPrev on success; certCache is the adopted copy on the streaming
+	// shell.
+	certPrev  []ruleReport
+	prevData  *relation.Relation
+	certOut   []ruleReport
+	certCache []ruleReport
 }
 
 // New prepares an engine: it clones data, orders the rules per Section 6.2,
@@ -352,10 +377,18 @@ func New(data, master *relation.Relation, rules []rule.Rule, opts Options) *Engi
 // granularity (round loops, the eRepair resolution loop, pool claim loops,
 // certify tasks) and fails with ErrCanceled/ErrDeadline once it is done.
 func NewContext(ctx context.Context, data, master *relation.Relation, rules []rule.Rule, opts Options) *Engine {
+	return newEngine(ctx, data, master, rule.Order(rules), nil, opts)
+}
+
+// newEngine wires an engine from already-ordered rules and, when protos is
+// non-nil, from prebuilt master blocking indexes (parallel to ordered) that
+// are forked instead of rebuilt — the constructor the streaming update path
+// uses so each update's sub-run reuses the indexes built once at NewStream.
+func newEngine(ctx context.Context, data, master *relation.Relation, ordered []rule.Rule, protos []*matcher, opts Options) *Engine {
 	e := &Engine{
 		data:   data.Clone(),
 		master: master,
-		rules:  rule.Order(rules),
+		rules:  ordered,
 		opts:   opts,
 		res:    &Result{Match: make(map[string]*MatchStats), Apply: make(map[string]*ApplyStats)},
 		seen:   make(map[string]bool),
@@ -367,7 +400,14 @@ func NewContext(ctx context.Context, data, master *relation.Relation, rules []ru
 	e.apply = make([]*ApplyStats, len(e.rules))
 	for i, r := range e.rules {
 		if r.Kind == rule.MatchMD && master != nil {
-			e.matchers[i] = newMatcher(r.MD, master)
+			if protos != nil && protos[i] != nil {
+				// A fork shares the immutable equality buckets and suffix
+				// tree with zeroed statistics, so a sub-run's matcher work
+				// counters come out identical to a fresh build's.
+				e.matchers[i] = protos[i].fork()
+			} else {
+				e.matchers[i] = newMatcher(r.MD, master)
+			}
 			e.res.Match[r.Name()] = &e.matchers[i].stats
 		}
 		e.apply[i] = &ApplyStats{}
@@ -444,7 +484,14 @@ func Run(data, master *relation.Relation, rules []rule.Rule, opts Options) *Resu
 // the engine only ever writes its private clone — and no Result is returned:
 // a run either completes (possibly Degraded, see Options.Deadline/MaxFixes)
 // or fails as a unit.
-func RunContext(ctx context.Context, data, master *relation.Relation, rules []rule.Rule, opts Options) (res *Result, err error) {
+func RunContext(ctx context.Context, data, master *relation.Relation, rules []rule.Rule, opts Options) (*Result, error) {
+	return NewContext(ctx, data, master, rules, opts).runAll()
+}
+
+// runAll drives the outer pass loop to its fixpoint and certifies — the body
+// of RunContext, shared with the streaming update path, which runs it on a
+// fresh sub-engine per update.
+func (e *Engine) runAll() (res *Result, err error) {
 	defer func() {
 		// Containment of last resort: a panic on the merge goroutine — the
 		// sequential phase code, an inline applier, the checker driver —
@@ -459,8 +506,7 @@ func RunContext(ctx context.Context, data, master *relation.Relation, rules []ru
 			res, err = nil, newWorkerError(r, "run", "", -1, -1)
 		}
 	}()
-	e := NewContext(ctx, data, master, rules, opts)
-	maxPasses := 1 + data.Len()*data.Schema.Arity()
+	maxPasses := 1 + e.data.Len()*e.data.Schema.Arity()
 	for pass := 0; pass < maxPasses; pass++ {
 		before := len(e.res.Fixes) + e.res.Asserts
 		e.CRepair()
@@ -540,10 +586,16 @@ func (e *Engine) finish() (*Result, error) {
 	// identical whatever -workers says.
 	ck := newChecker(e.rules, e.master, e.matchers, e.opts.workerCount())
 	ck.fj = e.fj
-	rep, err := ck.CheckContext(e.ctx, e.data)
+	// On the streaming update path (certPrev/prevData set by rebase), rules
+	// none of whose read attributes changed since the previously certified
+	// relation are served from that run's per-rule reports instead of being
+	// re-checked. A batch engine has no previous pass: dirtyRules returns
+	// nil and this is a plain full certification.
+	rep, perRule, err := ck.checkPatched(e.ctx, e.data, e.dirtyRules(), e.certPrev)
 	if err != nil {
 		return nil, err
 	}
+	e.certOut = perRule
 	e.res.Report = rep
 	if e.degraded != "" {
 		e.res.Degraded, e.res.DegradeReason = true, e.degraded

@@ -46,6 +46,17 @@ type eref struct {
 // With Options.Rescan, every group of every affected rule is re-grouped from
 // the relation with cfd.Groups, as in the reference engine; the tree ends up
 // identical either way, since unchanged groups keep their (entropy, id) key.
+//
+// Streaming updates (stream.go) never mutate a live tree: the AVL has no
+// removal path keyed by external writes, and none is needed, because an
+// Upsert/Delete reruns the pipeline on a fresh sub-engine whose tree is
+// seeded from the updated base — a deleted tuple's entropy contribution is
+// evicted and its group re-keyed simply by never being seeded (tombstoned
+// cells are Null, which matches no LHS pattern). The shell engine then
+// adopts that tree wholesale. TestDeleteEvictsFrozenEntropyGroup pins the
+// observable consequence: deleting a member whose value anchored a frozen
+// group resolution flips the survivors' resolution exactly as a
+// from-scratch run would.
 func (e *Engine) ERepair() {
 	if e.interrupted() || e.exhausted() {
 		return

@@ -20,6 +20,17 @@ var ErrCanceled = errors.New("clean: run canceled")
 // erroring (see Options).
 var ErrDeadline = errors.New("clean: deadline exceeded")
 
+// ErrNotStreaming is returned by Upsert/Delete on an engine that was not
+// built by NewStream: a batch engine has no base instance to rebase from,
+// so the update API is meaningless on it.
+var ErrNotStreaming = errors.New("clean: not a streaming engine (use NewStream)")
+
+// ErrBadUpdate marks a rejected streaming update — id out of range, arity
+// mismatch, confidence outside [0,1], delete of an already-deleted tuple.
+// It is always wrapped with the specific reason (errors.Is to test), and a
+// rejected update is guaranteed to have mutated nothing.
+var ErrBadUpdate = errors.New("clean: invalid update")
+
 // ctxErr maps a context error to the engine's typed sentinel.
 func ctxErr(err error) error {
 	if errors.Is(err, context.DeadlineExceeded) {

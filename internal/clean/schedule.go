@@ -286,15 +286,10 @@ func newScheduler(rules []rule.Rule, d *relation.Relation) *scheduler {
 		for _, a := range r.LHSAttrs() {
 			s.lhsSet[ri][a] = true
 		}
-		reads := make(map[int]bool)
-		for a := range s.lhsSet[ri] { //det:ok maporder set union into a set; no order escapes
-			reads[a] = true
-		}
-		for _, a := range r.RHSAttrs() {
-			reads[a] = true
-		}
-		for a := range reads { //det:ok maporder each attr appends to its own attrRules list; per-list order comes from the deterministic outer rule loop
-			s.attrRules[a] = append(s.attrRules[a], ri)
+		for a, in := range ruleReadSet(r, d.Schema.Arity()) {
+			if in {
+				s.attrRules[a] = append(s.attrRules[a], ri)
+			}
 		}
 		if r.Kind == rule.VariableCFD {
 			s.gidx[ri] = newGroupIndex(r.CFD, d)
@@ -447,4 +442,22 @@ func (s *scheduler) resetE() {
 			gi.dirty[phaseE] = make(map[int32]bool)
 		}
 	}
+}
+
+// ruleReadSet returns, indexed by data attribute, whether rule r reads that
+// column: its LHS attributes plus its RHS/conclusion data attributes (a
+// CFD also re-reads its RHS column to decide whether a tuple violates; an
+// MD compares the conclusion's data cell against master). This is the
+// dependency set the scheduler's attrRules reverse map is built from, and
+// the one the streaming update path diffs relations against to decide
+// which rules a certified Report must re-check (see Engine.dirtyRules).
+func ruleReadSet(r rule.Rule, arity int) []bool {
+	reads := make([]bool, arity)
+	for _, a := range r.LHSAttrs() {
+		reads[a] = true
+	}
+	for _, a := range r.RHSAttrs() {
+		reads[a] = true
+	}
+	return reads
 }
