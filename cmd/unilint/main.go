@@ -10,8 +10,14 @@
 //	//det:ok <analyzer> <reason>
 //
 // where the reason is mandatory — a reasonless or unknown-analyzer
-// suppression is itself a finding. Exit status: 0 clean, 1 findings,
-// 2 usage or load error.
+// suppression is itself a finding, and a suppression that no longer
+// suppresses anything is one too (detokstale).
+//
+// -json renders the findings as one JSON object, -sarif as a SARIF 2.1.0
+// log for CI annotation (GitHub code scanning); the two are mutually
+// exclusive, and both relativize paths to the module root. The exit status
+// is the same in every output mode: 0 clean, 1 findings, 2 usage or load
+// error.
 package main
 
 import (
@@ -32,17 +38,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", ".", "directory whose module is analyzed")
+	asJSON := fs.Bool("json", false, "print findings as JSON")
+	asSARIF := fs.Bool("sarif", false, "print findings as a SARIF 2.1.0 log")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: unilint [-dir root] [packages]\n\nAnalyzes the module's packages (default ./...) and exits nonzero on findings.\n\n")
+		fmt.Fprintf(stderr, "usage: unilint [-dir root] [-json|-sarif] [packages]\n\nAnalyzes the module's packages (default ./...) and exits nonzero on findings.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "unilint: -json and -sarif are mutually exclusive")
+		fs.Usage()
+		return 2
+	}
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -56,8 +69,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := lint.RunAll(analyzers, pkgs)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	switch {
+	case *asJSON, *asSARIF:
+		// Load succeeded, so the module root resolves; relativized paths
+		// keep machine-readable output stable across checkouts.
+		root, err := lint.ModuleRoot(*dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "unilint: %v\n", err)
+			return 2
+		}
+		if *asJSON {
+			err = writeJSON(stdout, root, findings)
+		} else {
+			err = writeSARIF(stdout, root, analyzers, findings)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "unilint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "unilint: %d finding(s)\n", len(findings))

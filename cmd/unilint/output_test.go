@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenOutput pins the machine-readable formats byte-for-byte over the
+// dirty fixture module: the finding order is RunAll's position sort, the
+// paths are module-root-relative, and any change to either shape must be a
+// deliberate golden update (regenerate with
+// `go run . -json -dir testdata/dirtymod ./... > testdata/dirty.json` and
+// the -sarif sibling).
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		flag   string
+		golden string
+	}{
+		{"-json", "testdata/dirty.json"},
+		{"-sarif", "testdata/dirty.sarif"},
+	}
+	for _, c := range cases {
+		t.Run(c.flag, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run([]string{c.flag, "-dir", "testdata/dirtymod", "./..."}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+			}
+			want, err := os.ReadFile(c.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := stdout.String(); got != string(want) {
+				t.Errorf("%s output diverged from %s:\ngot:\n%s\nwant:\n%s", c.flag, c.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestExitCodeTable asserts the 0/1/2 contract holds identically in every
+// output format: clean module, dirty module, and usage/load errors.
+func TestExitCodeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"text clean", []string{"-dir", "testdata/cleanmod", "./..."}, 0},
+		{"json clean", []string{"-json", "-dir", "testdata/cleanmod", "./..."}, 0},
+		{"sarif clean", []string{"-sarif", "-dir", "testdata/cleanmod", "./..."}, 0},
+		{"text dirty", []string{"-dir", "testdata/dirtymod", "./..."}, 1},
+		{"json dirty", []string{"-json", "-dir", "testdata/dirtymod", "./..."}, 1},
+		{"sarif dirty", []string{"-sarif", "-dir", "testdata/dirtymod", "./..."}, 1},
+		{"both formats", []string{"-json", "-sarif", "./..."}, 2},
+		{"json load error", []string{"-json", "-dir", os.TempDir(), "./..."}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != c.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, c.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestCleanJSONShape: a clean run still prints a complete document — an
+// empty findings array, not null, so consumers need no special case.
+func TestCleanJSONShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-dir", "testdata/cleanmod", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var doc struct {
+		Findings []any `json:"findings"`
+		Count    int   `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("clean -json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Findings == nil || len(doc.Findings) != 0 || doc.Count != 0 {
+		t.Errorf("clean run: findings=%v count=%d, want empty array and 0", doc.Findings, doc.Count)
+	}
+	if !strings.Contains(stdout.String(), `"findings": []`) {
+		t.Errorf("findings must serialize as [] on a clean run:\n%s", stdout.String())
+	}
+}
+
+// TestCleanSARIFShape: a clean SARIF log still carries the full rule table
+// (so rule metadata resolves) and an empty results array.
+func TestCleanSARIFShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", "-dir", "testdata/cleanmod", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var doc sarifLog
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("clean -sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1", doc.Version, len(doc.Runs))
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "unilint" {
+		t.Errorf("driver name %q, want unilint", run0.Tool.Driver.Name)
+	}
+	if len(run0.Results) != 0 || run0.Results == nil {
+		t.Errorf("clean run: %d results (nil=%v), want empty non-nil array", len(run0.Results), run0.Results == nil)
+	}
+	names := make(map[string]bool)
+	for _, r := range run0.Tool.Driver.Rules {
+		names[r.ID] = true
+	}
+	for _, want := range []string{"maporder", "poolonly", "sinkwrite", "floateq", "panicfree", "ctxflow", "errcontract", "detokstale", "detok"} {
+		if !names[want] {
+			t.Errorf("rule table missing %q", want)
+		}
+	}
+}

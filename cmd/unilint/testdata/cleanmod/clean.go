@@ -1,0 +1,6 @@
+// Package clean is a deliberately finding-free module: the exit-code and
+// machine-readable-output tests point unilint at it to pin the clean-run
+// shape of every format (exit 0, empty findings array, empty SARIF results).
+package clean
+
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,3 @@
+module cleanmod
+
+go 1.24

@@ -260,7 +260,7 @@ func mergeAscending(lists [][]int, out []int) []int {
 		return append(out, lists[0]...)
 	}
 	down := func(k int) {
-		for {
+		for { //det:ok ctxflow heap sift-down: k strictly descends a log-depth heap, bounded without any cancellation concern
 			l := 2*k + 1
 			if l >= len(lists) {
 				return
@@ -278,7 +278,7 @@ func mergeAscending(lists [][]int, out []int) []int {
 	for k := len(lists)/2 - 1; k >= 0; k-- {
 		down(k)
 	}
-	for len(lists) > 0 {
+	for len(lists) > 0 { //det:ok ctxflow bounded merge of precomputed candidate lists: consumes one head per pass, total work is the sum of list lengths
 		out = append(out, lists[0][0])
 		if rest := lists[0][1:]; len(rest) > 0 {
 			lists[0] = rest

@@ -1,0 +1,45 @@
+package lint
+
+import "fmt"
+
+// DetOkStale is the suppression audit: a //det:ok annotation that no longer
+// suppresses anything is itself a finding, so suppressions cannot outlive
+// their reason. The analyzer shell exists for -list, for AppliesTo-style
+// uniformity, and so that //det:ok detokstale is a known name; the actual
+// audit is driver-level (staleSuppressions, called by RunAll) because it
+// needs to observe a whole package run of every other analyzer first.
+var DetOkStale = &Analyzer{
+	Name: "detokstale",
+	Doc:  "suppression whose line no longer produces the suppressed finding",
+	Run:  func(*Pass) {},
+}
+
+// staleSuppressions reports every well-formed suppression that survived the
+// package run without suppressing a finding. Malformed annotations (no
+// analyzer, unknown analyzer) are excluded — those are already grammar
+// findings — and so are suppressions of the pseudo-analyzers themselves,
+// whose targets are annotations rather than code. A stale finding is in
+// turn suppressible with //det:ok detokstale <reason> on the line above the
+// dead annotation, for the rare case where an annotation guards a line that
+// only fires under a build configuration the linter does not see.
+func staleSuppressions(sup *suppressions, known []*Analyzer) []Finding {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	var out []Finding
+	for _, s := range sup.all {
+		if s.used || !names[s.analyzer] {
+			continue
+		}
+		if s.analyzer == SuppressionsAnalyzer || s.analyzer == DetOkStale.Name {
+			continue
+		}
+		if sup.covers(DetOkStale.Name, s.pos) {
+			continue
+		}
+		out = append(out, Finding{Pos: s.pos, Analyzer: DetOkStale.Name,
+			Message: fmt.Sprintf("suppression of %q suppresses nothing: the annotated line no longer produces that finding — delete the annotation (suppressions must not outlive their reason)", s.analyzer)})
+	}
+	return out
+}

@@ -130,11 +130,51 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	checkFindings(t, parseWants(t, pkg), findings)
 }
 
-func TestMapOrderFixture(t *testing.T)  { runFixture(t, MapOrder, "maporder") }
-func TestPoolOnlyFixture(t *testing.T)  { runFixture(t, PoolOnly, "poolonly") }
-func TestSinkWriteFixture(t *testing.T) { runFixture(t, SinkWrite, "sinkwrite") }
-func TestFloatEqFixture(t *testing.T)   { runFixture(t, FloatEq, "floateq") }
-func TestPanicFreeFixture(t *testing.T) { runFixture(t, PanicFree, "panicfree") }
+func TestMapOrderFixture(t *testing.T)    { runFixture(t, MapOrder, "maporder") }
+func TestPoolOnlyFixture(t *testing.T)    { runFixture(t, PoolOnly, "poolonly") }
+func TestSinkWriteFixture(t *testing.T)   { runFixture(t, SinkWrite, "sinkwrite") }
+func TestFloatEqFixture(t *testing.T)     { runFixture(t, FloatEq, "floateq") }
+func TestPanicFreeFixture(t *testing.T)   { runFixture(t, PanicFree, "panicfree") }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
+func TestErrContractFixture(t *testing.T) { runFixture(t, ErrContract, "errcontract") }
+
+// The v1 fixture under v1: the lexical analyzer still earns its keep as the
+// regression baseline, and v2 (TestSinkWriteFixture above) reproduces every
+// one of its findings on the same fixture — the upgrade lost nothing.
+func TestSinkWriteLexicalFixture(t *testing.T) { runFixture(t, SinkWriteLexical, "sinkwrite") }
+
+// The laundering fixture under v2: the alias-aware analyzer catches the
+// exact escape docs/determinism.md used to admit to missing.
+func TestSinkWriteV2Fixture(t *testing.T) { runFixture(t, SinkWrite, "sinkwritev2") }
+
+// TestSinkWriteV1MissesLaundering pins the closed gap from the other side:
+// the lexical v1 analyzer reports NOTHING on the laundering fixture. If v1
+// ever starts seeing these, the fixture no longer demonstrates the gap and
+// the v1/v2 split has lost its meaning.
+func TestSinkWriteV1MissesLaundering(t *testing.T) {
+	pkg := loadFixture(t, "sinkwritev2")
+	for _, f := range Run(SinkWriteLexical, pkg) {
+		t.Errorf("lexical v1 unexpectedly caught a laundered write: %s", f)
+	}
+}
+
+// TestDetOkStale runs the full driver over the stale-suppression fixture:
+// the used annotation and the excused one produce nothing, the dead one is
+// the package's single finding.
+func TestDetOkStale(t *testing.T) {
+	pkg := loadFixture(t, "detokstale")
+	findings := RunAll(All(), []*Package{pkg})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != DetOkStale.Name || !strings.Contains(f.Message, `suppression of "poolonly" suppresses nothing`) {
+		t.Errorf("finding = %s, want a stale poolonly suppression", f)
+	}
+	if want := findFixtureLine(t, pkg, "//det:ok poolonly the go statement here was removed"); f.Pos.Line != want {
+		t.Errorf("finding on line %d, want line %d (the dead annotation)", f.Pos.Line, want)
+	}
+}
 
 // TestSuppressionGrammar pins the mandatory-reason rule: an annotation that
 // names no analyzer, names an unknown one, or carries no reason is itself a
@@ -214,6 +254,12 @@ func TestAppliesToFilter(t *testing.T) {
 		{PanicFree, "repro/internal/rule", true},
 		{PanicFree, "repro/internal/clean", false},
 		{PanicFree, "repro/cmd/uniclean", false},
+		{CtxFlow, "repro/internal/clean", true},
+		{CtxFlow, "repro/internal/rule", false},
+		{ErrContract, "repro/internal/clean", true},
+		{ErrContract, "repro/internal/relation", false},
+		{SinkWriteLexical, "repro/internal/clean", true},
+		{SinkWriteLexical, "repro/internal/md", false},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {
@@ -222,6 +268,9 @@ func TestAppliesToFilter(t *testing.T) {
 	}
 	if PoolOnly.AppliesTo != nil {
 		t.Error("poolonly must apply to every package")
+	}
+	if DetOkStale.AppliesTo != nil {
+		t.Error("detokstale must apply to every package: stale suppressions rot anywhere")
 	}
 }
 

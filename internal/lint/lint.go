@@ -63,7 +63,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	sup      suppressions
+	sup      *suppressions
 	findings *[]Finding
 }
 
@@ -97,37 +97,54 @@ type suppression struct {
 	pos      token.Position
 	analyzer string // "" when the annotation names no analyzer
 	reason   string // "" when no justification was written
+	used     bool   // set by covers when the annotation suppressed a finding
 }
 
 // suppressions indexes the //det:ok annotations of one package by file and
 // line. An annotation on line L covers findings on L (trailing form) and on
 // L+1 (line-above form).
 type suppressions struct {
-	byLine map[string]map[int][]suppression
-	all    []suppression
+	byLine map[string]map[int][]*suppression
+	all    []*suppression
+}
+
+// parseAnnotation splits a comment's text into its //det:ok fields. ok is
+// false when the comment is not a det:ok annotation at all: the prefix must
+// be followed by a space, a tab, or the end of the comment, so //det:okay
+// is prose, not a suppression of an analyzer named "ay". When ok, analyzer
+// and reason are the first whitespace-separated field and the rest.
+func parseAnnotation(text string) (analyzer, reason string, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//"+detPrefix)
+	if !ok {
+		return "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 0 {
+		analyzer = fields[0]
+	}
+	if len(fields) > 1 {
+		reason = strings.Join(fields[1:], " ")
+	}
+	return analyzer, reason, true
 }
 
 // parseSuppressions collects every //det:ok annotation in the files.
-func parseSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	s := suppressions{byLine: make(map[string]map[int][]suppression)}
+func parseSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]*suppression)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+detPrefix)
+				analyzer, reason, ok := parseAnnotation(c.Text)
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(text)
-				sup := suppression{pos: fset.Position(c.Pos())}
-				if len(fields) > 0 {
-					sup.analyzer = fields[0]
-				}
-				if len(fields) > 1 {
-					sup.reason = strings.Join(fields[1:], " ")
-				}
+				sup := &suppression{pos: fset.Position(c.Pos()), analyzer: analyzer, reason: reason}
 				lines := s.byLine[sup.pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]suppression)
+					lines = make(map[int][]*suppression)
 					s.byLine[sup.pos.Filename] = lines
 				}
 				lines[sup.pos.Line] = append(lines[sup.pos.Line], sup)
@@ -139,19 +156,23 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 }
 
 // covers reports whether an annotation for the analyzer covers the position.
+// Matching annotations are marked used: the detokstale audit reports the
+// ones that survive a whole package run without ever suppressing anything.
 func (s *suppressions) covers(analyzer string, pos token.Position) bool {
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, sup := range lines[line] {
 			if sup.analyzer == analyzer {
-				return true
+				sup.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 // SuppressionsAnalyzer is the name under which annotation-grammar findings
@@ -190,6 +211,12 @@ func CheckSuppressions(fset *token.FileSet, files []*ast.File, known []*Analyzer
 // driver decides which packages an analyzer sees; fixture tests call Run
 // directly.
 func Run(a *Analyzer, pkg *Package) []Finding {
+	return runWith(a, pkg, parseSuppressions(pkg.Fset, pkg.Files))
+}
+
+// runWith runs one analyzer against a shared suppression table, so the
+// usage marks of one package's whole run accumulate in one place.
+func runWith(a *Analyzer, pkg *Package, sup *suppressions) []Finding {
 	var findings []Finding
 	a.Run(&Pass{
 		Analyzer: a,
@@ -197,24 +224,29 @@ func Run(a *Analyzer, pkg *Package) []Finding {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
-		sup:      parseSuppressions(pkg.Fset, pkg.Files),
+		sup:      sup,
 		findings: &findings,
 	})
 	return findings
 }
 
 // RunAll applies every applicable analyzer plus the suppression-grammar
-// check to the loaded packages and returns all findings sorted by position.
+// check and the stale-suppression audit to the loaded packages and returns
+// all findings sorted by position. The suppression table is parsed once per
+// package and shared across the analyzers, so by the time the audit runs it
+// knows exactly which annotations suppressed a finding and which are dead.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
+		sup := parseSuppressions(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			findings = append(findings, Run(a, pkg)...)
+			findings = append(findings, runWith(a, pkg, sup)...)
 		}
 		findings = append(findings, CheckSuppressions(pkg.Fset, pkg.Files, analyzers)...)
+		findings = append(findings, staleSuppressions(sup, analyzers)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

@@ -67,6 +67,14 @@ func load(dir string, patterns []string, tests bool) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// ModuleRoot returns the root directory of the module at or above dir —
+// the directory findings are relativized against in machine-readable
+// output.
+func ModuleRoot(dir string) (string, error) {
+	root, _, err := findModule(dir)
+	return root, err
+}
+
 // findModule walks up from dir to the directory containing go.mod and
 // returns it together with the declared module path.
 func findModule(dir string) (root, modPath string, err error) {

@@ -34,24 +34,16 @@ var workerScopeCalls = map[string]bool{
 	"applyGroups": true,
 }
 
-// SinkWrite flags assignments to engine/matcher shared state — the Engine
-// and its Result/Report, the scheduler with its group indexes, dirty sets
-// and symtabs, the pool — from worker-scoped code: *applier methods, `go`
-// statement bodies, and function literals handed to the pool
-// (runParallel/fanOut/applyTuples/applyGroups). Such a write escapes the
-// propose/commit sink: it races the other workers and injects scheduling
-// order into state the identity guarantee says is deterministic. Writes to
-// item-owned cells go through a local tuple binding (t := ap.e.data.Tuples[i])
-// — writing through the engine chain directly is flagged on purpose, since
-// the binding is what makes item ownership visible.
-//
-// The check is lexical over the selector chain of each left-hand side; an
-// alias that launders a shared pointer through an intermediate non-shared
-// type (s := ap.e.apply[ri]; s.CTuples++) is beyond it — the sanctioned
-// counter route is ap.stat(ri).
-var SinkWrite = &Analyzer{
+// SinkWriteLexical is the v1 sinkwrite check: purely lexical over the
+// selector chain of each assignment target inside the lexically discovered
+// worker scopes. It is no longer registered in All() — SinkWrite (v2, in
+// sinkwrite2.go) subsumes it with alias tracking — but it is kept exported
+// as the regression baseline: the sinkwritev2 fixture proves that v1 misses
+// the laundering counterexample (s := ap.e.apply[ri]; s.CTuples++) that v2
+// catches, so the gap this upgrade closed stays demonstrable.
+var SinkWriteLexical = &Analyzer{
 	Name:      "sinkwrite",
-	Doc:       "write to shared engine state from worker-scoped code",
+	Doc:       "write to shared engine state from worker-scoped code (lexical v1)",
 	AppliesTo: func(path string) bool { return path == "repro/internal/clean" },
 	Run: func(p *Pass) {
 		for _, f := range p.Files {

@@ -1,0 +1,32 @@
+// Package detokstale is the golden fixture of the stale-suppression audit:
+// a //det:ok annotation whose line no longer produces the suppressed
+// finding is itself a finding. The fixture uses poolonly (the one analyzer
+// that applies to every package, so it runs under RunAll here): a live
+// suppression over a real go statement, a stale one over plain code, and a
+// stale one excused by a //det:ok detokstale annotation — the escape hatch
+// for annotations kept on purpose.
+package detokstale
+
+import "sync"
+
+// A used suppression: the go statement is a real poolonly finding, so the
+// annotation suppresses it and is not stale.
+func live(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go wg.Done() //det:ok poolonly fixture: proves a used suppression is not stale
+}
+
+// A stale suppression: the go statement this line once carried was removed,
+// and the leftover annotation now suppresses nothing.
+func stale() int {
+	n := 1 //det:ok poolonly the go statement here was removed in a refactor
+	return n
+}
+
+// A stale suppression that is itself suppressed: detokstale findings obey
+// the same annotation grammar as every other analyzer's.
+func excused() int {
+	//det:ok detokstale fixture: proves stale findings are suppressible
+	//det:ok poolonly kept deliberately to exercise the escape hatch
+	return 2
+}
